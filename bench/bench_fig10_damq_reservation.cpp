@@ -1,0 +1,55 @@
+// Figure 10: DAMQ private reservation sweep under UN traffic with MIN
+// routing — accepted vs offered load for 0/25/50/75/100% private space per
+// VC. With no private reservation the network deadlocks at saturation (a
+// single VC monopolizes the shared pool, breaking the distance-based escape
+// chain); ~75% private is optimal and only slightly better than statically
+// partitioned buffers (SVI-C) — the result motivating FlexVC's static
+// organization.
+#include "bench_util.hpp"
+
+using namespace flexnet;
+using namespace flexnet::bench;
+
+int main(int argc, char** argv) {
+  print_header("Figure 10", "DAMQ reservation sweep, UN/MIN accepted load");
+  SimConfig base = base_config(argc, argv);
+  base.traffic = "uniform";
+  base.routing = "min";
+  base.vcs = "2/1";
+  base.policy = "baseline";
+  base.buffer_org = "damq";
+  // Tighten the watchdog so the 0%-reservation case is *flagged* as a
+  // deadlock instead of silently reporting near-zero throughput.
+  base.watchdog = 5000;
+  const int seeds = bench_seeds();
+
+  const double fractions[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+  const auto loads = load_points(0.2, 1.0, 6);
+
+  std::printf("\n%-8s", "load");
+  for (double frac : fractions)
+    std::printf(" | %3.0f%% (%2d phits)", frac * 100,
+                static_cast<int>(frac * 32));
+  std::printf("\n");
+  for (double load : loads) {
+    std::printf("%-8.3f", load);
+    for (double frac : fractions) {
+      SimConfig cfg = base;
+      cfg.damq_private_fraction = frac;
+      cfg.load = load;
+      SimResult r = run_averaged(cfg, seeds);
+      if (r.deadlock)
+        std::printf(" | %-15s", "DEADLOCK");
+      else
+        std::printf(" | %-15.4f", r.accepted);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper shape: 0%% deadlocks at saturation, 25%% congests, ~75%% is "
+      "optimal and\nclose to statically partitioned (100%%) — DAMQs need "
+      "most memory private,\nnullifying their benefit (the argument for "
+      "FlexVC's static buffers).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 5: latency and throughput under UN, BURSTY-UN (MIN routing) and
+// ADV (VAL routing) with oblivious routing — Baseline, DAMQ 75%, and FlexVC
+// with 2/1, 4/2 and 8/4 VCs. Memory per VC is constant (Table V), so larger
+// VC sets also carry more total buffering, as in the paper.
+#include "bench_util.hpp"
+
+using namespace flexnet;
+using namespace flexnet::bench;
+
+namespace {
+
+std::vector<ExperimentSeries> panel_series(const SimConfig& base,
+                                           const std::string& min_vcs) {
+  std::vector<ExperimentSeries> out;
+  SimConfig cfg = base;
+  cfg.vcs = min_vcs;
+  cfg.policy = "baseline";
+  out.push_back(series("Baseline", cfg));
+  cfg.buffer_org = "damq";
+  out.push_back(series("DAMQ 75%", cfg));
+  cfg.buffer_org = "static";
+  cfg.policy = "flexvc";
+  out.push_back(series("FlexVC " + min_vcs + "VCs", cfg));
+  cfg.vcs = "4/2";
+  out.push_back(series("FlexVC 4/2VCs", cfg));
+  cfg.vcs = "8/4";
+  out.push_back(series("FlexVC 8/4VCs", cfg));
+  // The base mechanisms cannot exploit additional VCs (deadlock-avoidance
+  // restrictions), so only FlexVC appears with the larger sets.
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_header("Figure 5", "oblivious routing: latency & throughput");
+  const SimConfig base = base_config(argc, argv);
+  const int seeds = bench_seeds();
+
+  {  // (a) UN with MIN routing: baseline needs 2/1.
+    SimConfig cfg = base;
+    cfg.traffic = "uniform";
+    cfg.routing = "min";
+    auto sweeps = run_load_sweep(panel_series(cfg, "2/1"),
+                                 load_points(0.1, 1.0, 7), seeds, progress);
+    print_sweep_table("Fig 5a: UN, MIN routing", sweeps);
+    print_throughput_summary("Fig 5a", sweeps);
+  }
+  {  // (b) BURSTY-UN with MIN routing.
+    SimConfig cfg = base;
+    cfg.traffic = "bursty";
+    cfg.routing = "min";
+    auto sweeps = run_load_sweep(panel_series(cfg, "2/1"),
+                                 load_points(0.1, 1.0, 7), seeds, progress);
+    print_sweep_table("Fig 5b: BURSTY-UN, MIN routing", sweeps);
+    print_throughput_summary("Fig 5b", sweeps);
+  }
+  {  // (c) ADV with VAL routing: baseline needs 4/2; FlexVC adds 8/4.
+    SimConfig cfg = base;
+    cfg.traffic = "adversarial";
+    cfg.routing = "val";
+    std::vector<ExperimentSeries> s;
+    cfg.vcs = "4/2";
+    cfg.policy = "baseline";
+    s.push_back(series("Baseline", cfg));
+    cfg.buffer_org = "damq";
+    s.push_back(series("DAMQ 75%", cfg));
+    cfg.buffer_org = "static";
+    cfg.policy = "flexvc";
+    s.push_back(series("FlexVC 4/2VCs", cfg));
+    cfg.vcs = "8/4";
+    s.push_back(series("FlexVC 8/4VCs", cfg));
+    auto sweeps = run_load_sweep(s, load_points(0.1, 1.0, 7), seeds, progress);
+    print_sweep_table("Fig 5c: ADV, VAL routing", sweeps);
+    print_throughput_summary("Fig 5c", sweeps);
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 7: request-reply traffic under oblivious routing. FlexVC unifies
+// the request and reply VC sequences; throughput sorts by the number of VCs
+// in the *request* subpath (extra VCs at the start of the request sequence
+// serve both requests and replies, SV-B).
+#include "bench_util.hpp"
+
+using namespace flexnet;
+using namespace flexnet::bench;
+
+namespace {
+
+std::vector<ExperimentSeries> min_series(const SimConfig& base) {
+  std::vector<ExperimentSeries> out;
+  SimConfig cfg = base;
+  cfg.vcs = "2/1+2/1";
+  cfg.policy = "baseline";
+  out.push_back(series("Baseline", cfg));
+  cfg.buffer_org = "damq";
+  out.push_back(series("DAMQ", cfg));
+  cfg.buffer_org = "static";
+  cfg.policy = "flexvc";
+  for (const char* vcs :
+       {"2/1+2/1", "2/1+3/2", "3/2+2/1", "2/1+4/3", "3/2+3/2", "4/3+2/1"}) {
+    cfg.vcs = vcs;
+    out.push_back(series(std::string("FlexVC ") + vcs, cfg));
+  }
+  return out;
+}
+
+std::vector<ExperimentSeries> val_series(const SimConfig& base) {
+  std::vector<ExperimentSeries> out;
+  SimConfig cfg = base;
+  cfg.vcs = "4/2+4/2";
+  cfg.policy = "baseline";
+  out.push_back(series("Baseline", cfg));
+  cfg.buffer_org = "damq";
+  out.push_back(series("DAMQ", cfg));
+  cfg.buffer_org = "static";
+  cfg.policy = "flexvc";
+  for (const char* vcs : {"4/2+4/2", "5/3+5/3", "6/4+4/2"}) {
+    cfg.vcs = vcs;
+    out.push_back(series(std::string("FlexVC ") + vcs, cfg));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_header("Figure 7", "request-reply traffic, oblivious routing");
+  SimConfig base = base_config(argc, argv);
+  base.reactive = true;
+  const int seeds = bench_seeds();
+
+  {
+    SimConfig cfg = base;
+    cfg.traffic = "uniform";
+    cfg.routing = "min";
+    auto sweeps = run_load_sweep(min_series(cfg), load_points(0.2, 1.0, 6),
+                                 seeds, progress);
+    print_sweep_table("Fig 7a: UN request-reply, MIN routing", sweeps);
+    print_throughput_summary("Fig 7a", sweeps);
+  }
+  {
+    SimConfig cfg = base;
+    cfg.traffic = "bursty";
+    cfg.routing = "min";
+    auto sweeps = run_load_sweep(min_series(cfg), load_points(0.2, 1.0, 6),
+                                 seeds, progress);
+    print_sweep_table("Fig 7b: BURSTY-UN request-reply, MIN routing", sweeps);
+    print_throughput_summary("Fig 7b", sweeps);
+  }
+  {
+    SimConfig cfg = base;
+    cfg.traffic = "adversarial";
+    cfg.routing = "val";
+    auto sweeps = run_load_sweep(val_series(cfg), load_points(0.2, 1.0, 6),
+                                 seeds, progress);
+    print_sweep_table("Fig 7c: ADV request-reply, VAL routing", sweeps);
+    print_throughput_summary("Fig 7c", sweeps);
+  }
+  return 0;
+}

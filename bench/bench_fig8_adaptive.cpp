@@ -1,0 +1,77 @@
+// Figure 8: source-adaptive routing (Piggyback) with request-reply traffic:
+// PB per-port/per-VC sensing on the baseline (4/2+4/2 VCs), FlexVC with
+// 4/2+2/1 (25% fewer buffers), and FlexVC-minCred, which tracks credits of
+// minimally routed packets separately to restore adversarial-pattern
+// identification (SIII-D).
+#include "bench_util.hpp"
+
+using namespace flexnet;
+using namespace flexnet::bench;
+
+namespace {
+
+std::vector<ExperimentSeries> pb_series(const SimConfig& base,
+                                        const std::string& reference) {
+  std::vector<ExperimentSeries> out;
+  SimConfig cfg = base;
+  // Oblivious reference (MIN for UN/BURSTY, VAL for ADV).
+  cfg.routing = reference;
+  cfg.policy = "baseline";
+  cfg.vcs = reference == "min" ? "2/1+2/1" : "4/2+4/2";
+  out.push_back(series(reference == "min" ? "MIN" : "VAL", cfg));
+
+  cfg.routing = "pb";
+  cfg.vcs = "4/2+4/2";
+  cfg.pb_per_vc = true;
+  out.push_back(series("PB - per VC", cfg));
+  cfg.pb_per_vc = false;
+  out.push_back(series("PB - per port", cfg));
+
+  cfg.policy = "flexvc";
+  cfg.vcs = "4/2+2/1";
+  cfg.pb_per_vc = true;
+  out.push_back(series("PB FlexVC - per VC", cfg));
+  cfg.pb_per_vc = false;
+  out.push_back(series("PB FlexVC - per port", cfg));
+  cfg.mincred = true;
+  cfg.pb_per_vc = true;
+  out.push_back(series("PB FlexVC - per VC min", cfg));
+  cfg.pb_per_vc = false;
+  out.push_back(series("PB FlexVC - per port min", cfg));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_header("Figure 8", "Piggyback adaptive routing, request-reply");
+  SimConfig base = base_config(argc, argv);
+  base.reactive = true;
+  const int seeds = bench_seeds();
+
+  {
+    SimConfig cfg = base;
+    cfg.traffic = "uniform";
+    auto sweeps = run_load_sweep(pb_series(cfg, "min"),
+                                 load_points(0.2, 1.0, 6), seeds, progress);
+    print_sweep_table("Fig 8a: UN request-reply, PB", sweeps);
+    print_throughput_summary("Fig 8a", sweeps);
+  }
+  {
+    SimConfig cfg = base;
+    cfg.traffic = "bursty";
+    auto sweeps = run_load_sweep(pb_series(cfg, "min"),
+                                 load_points(0.2, 1.0, 6), seeds, progress);
+    print_sweep_table("Fig 8b: BURSTY-UN request-reply, PB", sweeps);
+    print_throughput_summary("Fig 8b", sweeps);
+  }
+  {
+    SimConfig cfg = base;
+    cfg.traffic = "adversarial";
+    auto sweeps = run_load_sweep(pb_series(cfg, "val"),
+                                 load_points(0.2, 1.0, 6), seeds, progress);
+    print_sweep_table("Fig 8c: ADV request-reply, PB", sweeps);
+    print_throughput_summary("Fig 8c", sweeps);
+  }
+  return 0;
+}

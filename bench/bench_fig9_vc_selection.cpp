@@ -1,0 +1,51 @@
+// Figure 9: throughput at 100% load under UN request-reply traffic with MIN
+// routing, for the four VC selection functions and six VC arrangements. The
+// paper finds JSQ best on average, closely followed by highest-VC, with
+// lowest-VC consistently worst and differences within a few percent (SVI-A).
+#include "bench_util.hpp"
+
+using namespace flexnet;
+using namespace flexnet::bench;
+
+int main(int argc, char** argv) {
+  print_header("Figure 9", "VC selection functions @ 100% load, UN req-reply");
+  SimConfig base = base_config(argc, argv);
+  base.reactive = true;
+  base.traffic = "uniform";
+  base.routing = "min";
+  base.load = 1.0;
+  const int seeds = bench_seeds();
+
+  const char* arrangements[] = {"2/1+2/1", "2/1+3/2", "3/2+2/1",
+                                "2/1+4/3", "3/2+3/2", "4/3+2/1"};
+  const char* selections[] = {"jsq", "highest", "lowest", "random"};
+
+  // Reference rows: baseline and DAMQ at the minimum arrangement.
+  {
+    SimConfig cfg = base;
+    cfg.vcs = "2/1+2/1";
+    cfg.policy = "baseline";
+    std::printf("%-24s %8.4f\n", "Baseline 2/1+2/1",
+                run_averaged(cfg, seeds).accepted);
+    cfg.buffer_org = "damq";
+    std::printf("%-24s %8.4f\n", "DAMQ 2/1+2/1 75%",
+                run_averaged(cfg, seeds).accepted);
+  }
+
+  std::printf("\n%-12s", "VCs");
+  for (const char* sel : selections) std::printf(" | %-10s", sel);
+  std::printf("\n");
+  for (const char* arr : arrangements) {
+    std::printf("%-12s", arr);
+    for (const char* sel : selections) {
+      SimConfig cfg = base;
+      cfg.policy = "flexvc";
+      cfg.vcs = arr;
+      cfg.vc_selection = sel;
+      std::printf(" | %-10.4f", run_averaged(cfg, seeds).accepted);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

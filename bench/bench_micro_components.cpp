@@ -1,0 +1,114 @@
+// Microbenchmarks of the hot-path components (google-benchmark): FlexVC
+// candidate generation, template embedding, buffer operations, credit
+// ledger updates, RNG, and a full network step at three scales. These
+// bound the simulator's cycle cost and catch performance regressions.
+#include <benchmark/benchmark.h>
+
+#include "buffers/credit_ledger.hpp"
+#include "buffers/input_buffer.hpp"
+#include "common/rng.hpp"
+#include "core/baseline_policy.hpp"
+#include "core/flexvc_policy.hpp"
+#include "sim/network.hpp"
+
+namespace flexnet {
+namespace {
+
+void BM_RngNextBelow(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_below(129));
+}
+BENCHMARK(BM_RngNextBelow);
+
+void BM_TemplateEmbed(benchmark::State& state) {
+  const VcTemplate tmpl(VcArrangement::parse("4/2+2/1"));
+  const HopSeq seq{LinkType::kLocal, LinkType::kGlobal, LinkType::kLocal};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tmpl.embed_path(seq, VcTemplate::no_floors(), -1, MsgClass::kReply));
+  }
+}
+BENCHMARK(BM_TemplateEmbed);
+
+void BM_FlexVcCandidates(benchmark::State& state) {
+  const FlexVcPolicy policy{VcArrangement::parse("8/4")};
+  HopContext ctx;
+  ctx.hop_type = LinkType::kLocal;
+  ctx.intended_after = {LinkType::kGlobal, LinkType::kLocal, LinkType::kLocal,
+                        LinkType::kGlobal, LinkType::kLocal};
+  ctx.escape_after = {LinkType::kGlobal, LinkType::kLocal};
+  std::vector<VcCandidate> out;
+  for (auto _ : state) {
+    out.clear();
+    policy.candidates(ctx, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FlexVcCandidates);
+
+void BM_BaselineCandidates(benchmark::State& state) {
+  const BaselinePolicy policy{VcArrangement::parse("4/2")};
+  HopContext ctx;
+  ctx.hop_type = LinkType::kLocal;
+  ctx.intended_after = {LinkType::kGlobal, LinkType::kLocal};
+  ctx.escape_after = ctx.intended_after;
+  std::vector<VcCandidate> out;
+  for (auto _ : state) {
+    out.clear();
+    policy.candidates(ctx, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_BaselineCandidates);
+
+void BM_StaticBufferPushPop(benchmark::State& state) {
+  StaticBuffer buf(4, 256);
+  Packet pkt;
+  pkt.size = 8;
+  for (auto _ : state) {
+    buf.push(0, pkt);
+    benchmark::DoNotOptimize(buf.pop(0));
+  }
+}
+BENCHMARK(BM_StaticBufferPushPop);
+
+void BM_DamqBufferPushPop(benchmark::State& state) {
+  DamqBuffer buf(4, 24, 32);
+  Packet pkt;
+  pkt.size = 8;
+  for (auto _ : state) {
+    buf.push(0, pkt);
+    benchmark::DoNotOptimize(buf.pop(0));
+  }
+}
+BENCHMARK(BM_DamqBufferPushPop);
+
+void BM_CreditLedgerRoundTrip(benchmark::State& state) {
+  CreditLedger ledger(4, 32, 0);
+  for (auto _ : state) {
+    ledger.on_send(1, 8, RouteKind::kMinimal);
+    ledger.on_credit(1, 8, RouteKind::kMinimal);
+    benchmark::DoNotOptimize(ledger.free_for(1));
+  }
+}
+BENCHMARK(BM_CreditLedgerRoundTrip);
+
+void BM_NetworkStep(benchmark::State& state) {
+  SimConfig cfg;
+  cfg.dragonfly = {2, 4, static_cast<int>(state.range(0))};
+  cfg.load = 0.5;
+  cfg.policy = "flexvc";
+  cfg.vcs = "4/2";
+  Network net(cfg);
+  Cycle now = 0;
+  // Warm the network so the step cost reflects loaded operation.
+  for (; now < 2000; ++now) net.step(now);
+  for (auto _ : state) net.step(now++);
+  state.SetLabel(std::to_string(net.topology().num_routers()) + " routers");
+}
+BENCHMARK(BM_NetworkStep)->Arg(2)->Arg(4);
+
+}  // namespace
+}  // namespace flexnet
+
+BENCHMARK_MAIN();

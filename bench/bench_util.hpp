@@ -1,0 +1,57 @@
+// Shared scaffolding for the figure-reproduction benches: every bench
+// builds a set of labeled configurations, sweeps offered load, and prints
+// the rows of the corresponding paper figure.
+//
+// Scale: the paper simulates a (p=8,a=16,h=8) Dragonfly — 2,064 routers —
+// for 60k cycles x 5 seeds. The default bench scale is (2,4,2) with
+// identical microarchitecture (Table V) so the full suite runs on one core;
+// set FLEXNET_SCALE=h4 or h8 and FLEXNET_SEEDS/FLEXNET_MEASURE to scale up.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/options.hpp"
+#include "sim/experiment.hpp"
+
+namespace flexnet::bench {
+
+/// Table V defaults at bench scale, with command-line overrides applied.
+inline SimConfig base_config(int argc = 0, const char* const* argv = nullptr) {
+  const BenchScale scale = bench_scale();
+  SimConfig cfg;
+  cfg.dragonfly = scale.dragonfly;
+  cfg.warmup = scale.warmup;
+  cfg.measure = scale.measure;
+  if (argc > 0) cfg.apply(Options::parse(argc, argv));
+  return cfg;
+}
+
+inline int bench_seeds() { return bench_scale().seeds; }
+
+inline void print_header(const std::string& figure, const std::string& what) {
+  const SimConfig cfg = base_config();
+  std::printf("=====================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), what.c_str());
+  std::printf("dragonfly(p=%d,a=%d,h=%d), %d nodes, warmup=%lld measure=%lld, "
+              "seeds=%d\n",
+              cfg.dragonfly.p, cfg.dragonfly.a, cfg.dragonfly.h,
+              cfg.dragonfly.num_nodes(), static_cast<long long>(cfg.warmup),
+              static_cast<long long>(cfg.measure), bench_seeds());
+  std::printf("=====================================================\n");
+}
+
+inline ExperimentSeries series(const std::string& label, SimConfig cfg) {
+  return ExperimentSeries{label, std::move(cfg)};
+}
+
+/// Standard progress line so long sweeps show liveness on the console.
+inline void progress(const std::string& label, double load,
+                     const SimResult& r) {
+  std::fprintf(stderr, "  [%-28s] load=%.2f accepted=%.3f lat=%.0f%s\n",
+               label.c_str(), load, r.accepted, r.avg_latency,
+               r.deadlock ? " DEADLOCK" : "");
+}
+
+}  // namespace flexnet::bench

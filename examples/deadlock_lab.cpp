@@ -1,0 +1,52 @@
+// Deadlock laboratory: reproduces the failure mode the paper uses to argue
+// against fully shared buffers (SVI-C / Fig 10), with the simulator's
+// watchdog as the detector.
+//
+// A DAMQ with no private reservation lets one VC monopolize a port's
+// memory. A packet that must advance to the *next* VC of the distance-based
+// order then finds no space, other packets wait on it, and the wait cycle
+// closes: classic buffer deadlock. Any nonzero reservation restores the
+// escape chain.
+#include <cstdio>
+
+#include "sim/simulator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flexnet;
+  SimConfig base;
+  base.traffic = "uniform";
+  base.routing = "min";
+  base.vcs = "2/1";
+  base.buffer_org = "damq";
+  base.load = 1.0;           // deadlock manifests at saturation
+  base.watchdog = 5000;      // declare deadlock after 5k cycles of silence
+  base.measure = 10000;
+  base.apply(Options::parse(argc, argv));
+
+  std::printf("Deadlock lab: DAMQ private reservation vs deadlock\n\n");
+  std::printf("%-28s %-10s %-10s\n", "configuration", "accepted", "status");
+  for (double fraction : {0.0, 0.25, 0.75}) {
+    SimConfig cfg = base;
+    cfg.damq_private_fraction = fraction;
+    const SimResult r = Simulator(cfg).run();
+    std::printf("DAMQ %3.0f%% private            %-10.3f %s\n",
+                fraction * 100, r.accepted,
+                r.deadlock ? "DEADLOCK (watchdog fired)" : "ok");
+    std::fflush(stdout);
+  }
+
+  std::printf("\nStatic buffers (FlexVC's organization) cannot deadlock this "
+              "way:\n");
+  SimConfig cfg = base;
+  cfg.buffer_org = "static";
+  cfg.policy = "flexvc";
+  const SimResult r = Simulator(cfg).run();
+  std::printf("FlexVC static 2/1            %-10.3f %s\n", r.accepted,
+              r.deadlock ? "DEADLOCK" : "ok");
+
+  std::printf(
+      "\nReading: with 0%% reservation the escape chain of the distance-based\n"
+      "order breaks and the watchdog fires; the paper observed exactly this\n"
+      "(SVI-C: 'With no private reservation, the system presents deadlock').\n");
+  return 0;
+}

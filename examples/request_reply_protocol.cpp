@@ -1,0 +1,53 @@
+// Request-reply traffic and protocol deadlock avoidance (paper SIII-B).
+//
+// Destination nodes answer every request with a reply; a request may only
+// be consumed while the reply queue has room, so requests ultimately depend
+// on replies draining. The classic solution doubles every VC (two virtual
+// networks); FlexVC concatenates the request and reply sequences and lets
+// replies borrow request VCs opportunistically, supporting the same paths
+// with up to 50% less buffering (Table IV: 3/2+2/1 vs 2x(5/2)).
+#include <cstdio>
+
+#include "sim/simulator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flexnet;
+  SimConfig base;
+  base.reactive = true;
+  base.traffic = "uniform";
+  base.routing = "min";
+  base.load = 0.9;
+  base.apply(Options::parse(argc, argv));
+
+  std::printf("Request-reply protocol study on %s\n\n", base.summary().c_str());
+  std::printf("%-26s %-10s %-12s %-12s %-12s\n", "configuration", "accepted",
+              "latency", "req-latency", "rep-latency");
+
+  struct Case {
+    const char* label;
+    const char* policy;
+    const char* vcs;
+  };
+  const Case cases[] = {
+      {"baseline 2/1+2/1", "baseline", "2/1+2/1"},
+      {"FlexVC 2/1+2/1", "flexvc", "2/1+2/1"},
+      {"FlexVC 3/2+2/1", "flexvc", "3/2+2/1"},
+      {"FlexVC 4/3+2/1", "flexvc", "4/3+2/1"},
+  };
+  for (const Case& c : cases) {
+    SimConfig cfg = base;
+    cfg.policy = c.policy;
+    cfg.vcs = c.vcs;
+    const SimResult r = Simulator(cfg).run();
+    std::printf("%-26s %-10.3f %-12.1f %-12.1f %-12.1f\n", c.label,
+                r.accepted, r.avg_latency, r.request_latency,
+                r.reply_latency);
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\nReading: adding VCs at the start of the *request* subpath helps both\n"
+      "classes — requests use them directly and replies reach them\n"
+      "opportunistically (SV-B: throughput sorts by request-subpath VCs).\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "buffers/buffer_org.hpp"
+
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace flexnet {
+
+BufferOrg parse_buffer_org(const std::string& name) {
+  if (name == "static") return BufferOrg::kStatic;
+  if (name == "damq") return BufferOrg::kDamq;
+  throw std::invalid_argument("unknown buffer organization: " + name);
+}
+
+const char* to_string(BufferOrg org) {
+  switch (org) {
+    case BufferOrg::kStatic:
+      return "static";
+    case BufferOrg::kDamq:
+      return "damq";
+  }
+  return "?";
+}
+
+BufferGeometry make_geometry(BufferOrg org, int num_vcs, int total_phits,
+                             double private_fraction) {
+  FLEXNET_CHECK(num_vcs >= 1 && total_phits >= num_vcs);
+  BufferGeometry g;
+  g.num_vcs = num_vcs;
+  if (org == BufferOrg::kStatic) {
+    g.private_per_vc = total_phits / num_vcs;
+    g.shared = 0;
+    return g;
+  }
+  FLEXNET_CHECK(private_fraction >= 0.0 && private_fraction <= 1.0);
+  g.private_per_vc =
+      static_cast<int>(private_fraction * total_phits) / num_vcs;
+  g.shared = total_phits - num_vcs * g.private_per_vc;
+  return g;
+}
+
+std::unique_ptr<InputBuffer> make_buffer(const BufferGeometry& geometry) {
+  if (geometry.shared == 0)
+    return std::make_unique<StaticBuffer>(geometry.num_vcs,
+                                          geometry.private_per_vc);
+  return std::make_unique<DamqBuffer>(geometry.num_vcs,
+                                      geometry.private_per_vc, geometry.shared);
+}
+
+}  // namespace flexnet

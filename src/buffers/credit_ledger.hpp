@@ -1,0 +1,93 @@
+// Sender-side credit ledger for one output port.
+//
+// Mirrors the downstream input buffer's geometry (per-VC private capacity
+// plus an optional shared pool) so that a send granted by the ledger can
+// never overflow the receiver. Statically partitioned buffers are the
+// shared_capacity == 0 case.
+//
+// FlexVC-minCred (paper SIII-D) additionally tracks, per VC, how many of
+// the occupied phits belong to minimally routed packets. Credits returned
+// by the receiver carry the packet's RouteKind flag — the paper's "one
+// additional flag per credit packet and an additional credit counter per
+// output port".
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace flexnet {
+
+class CreditLedger {
+ public:
+  CreditLedger(int num_vcs, int private_per_vc, int shared_capacity)
+      : private_per_vc_(private_per_vc),
+        shared_capacity_(shared_capacity),
+        occupied_(static_cast<std::size_t>(num_vcs), 0),
+        occupied_min_(static_cast<std::size_t>(num_vcs), 0) {}
+
+  int num_vcs() const { return static_cast<int>(occupied_.size()); }
+
+  /// Free phits the sender may use for this VC right now.
+  int free_for(VcIndex vc) const {
+    const int occ = occupied_[static_cast<std::size_t>(vc)];
+    const int private_free = private_per_vc_ - std::min(occ, private_per_vc_);
+    return private_free + shared_capacity_ - shared_used_;
+  }
+
+  bool can_send(VcIndex vc, int phits) const { return free_for(vc) >= phits; }
+
+  void on_send(VcIndex vc, int phits, RouteKind kind) {
+    FLEXNET_DCHECK(can_send(vc, phits));
+    add(vc, phits, kind);
+  }
+
+  /// Credit returned by the receiver when a packet leaves its buffer.
+  void on_credit(VcIndex vc, int phits, RouteKind kind) {
+    add(vc, -phits, kind);
+    FLEXNET_DCHECK(occupied_[static_cast<std::size_t>(vc)] >= 0);
+  }
+
+  /// Downstream occupancy attributable to this sender, in phits. This is the
+  /// congestion signal Piggyback compares (SII: "each router measures the
+  /// occupancy (credits) of its global ports").
+  int occupied(VcIndex vc) const {
+    return occupied_[static_cast<std::size_t>(vc)];
+  }
+  int occupied_port() const { return occupied_port_; }
+
+  /// minCred counters: occupancy of minimally routed packets only.
+  int occupied_min(VcIndex vc) const {
+    return occupied_min_[static_cast<std::size_t>(vc)];
+  }
+  int occupied_min_port() const { return occupied_min_port_; }
+
+  int capacity_port() const {
+    return private_per_vc_ * num_vcs() + shared_capacity_;
+  }
+
+ private:
+  void add(VcIndex vc, int delta, RouteKind kind) {
+    auto& occ = occupied_[static_cast<std::size_t>(vc)];
+    const int before_overflow = std::max(0, occ - private_per_vc_);
+    occ += delta;
+    occupied_port_ += delta;
+    shared_used_ += std::max(0, occ - private_per_vc_) - before_overflow;
+    if (kind == RouteKind::kMinimal) {
+      occupied_min_[static_cast<std::size_t>(vc)] += delta;
+      occupied_min_port_ += delta;
+    }
+  }
+
+  int private_per_vc_;
+  int shared_capacity_;
+  int shared_used_ = 0;
+  int occupied_port_ = 0;
+  int occupied_min_port_ = 0;
+  std::vector<int> occupied_;
+  std::vector<int> occupied_min_;
+};
+
+}  // namespace flexnet

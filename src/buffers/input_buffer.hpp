@@ -1,0 +1,154 @@
+// Input buffer interface: per-VC packet queues with phit-granular capacity
+// accounting. Two implementations (paper SII, Fig 2):
+//   * StaticBuffer — statically partitioned, a fixed capacity per VC;
+//   * DamqBuffer   — dynamically allocated multi-queue: a private
+//                    reservation per VC plus a pool shared by all VCs.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "buffers/packet.hpp"
+#include "common/check.hpp"
+
+namespace flexnet {
+
+class InputBuffer {
+ public:
+  virtual ~InputBuffer() = default;
+
+  int num_vcs() const { return static_cast<int>(queues_.size()); }
+
+  /// Space check used by the receiver on arrival; the sender-side
+  /// CreditLedger mirrors the same rule so a granted send never overflows.
+  virtual bool can_accept(VcIndex vc, int phits) const = 0;
+
+  /// Free phits currently available to this VC (its private remainder plus
+  /// any shared remainder for a DAMQ).
+  virtual int free_for(VcIndex vc) const = 0;
+
+  /// Total capacity of the port's memory in phits.
+  virtual int total_capacity() const = 0;
+
+  void push(VcIndex vc, const Packet& pkt) {
+    FLEXNET_DCHECK(can_accept(vc, pkt.size));
+    occupancy_[static_cast<std::size_t>(vc)] += pkt.size;
+    total_occupancy_ += pkt.size;
+    queues_[static_cast<std::size_t>(vc)].push_back(pkt);
+  }
+
+  bool empty(VcIndex vc) const {
+    return queues_[static_cast<std::size_t>(vc)].empty();
+  }
+
+  /// Head-of-queue packet, or nullptr. Only the head can be routed: this is
+  /// the FIFO order whose blocking FlexVC mitigates by spreading packets
+  /// over more VCs (not by reordering within one).
+  const Packet* front(VcIndex vc) const {
+    const auto& q = queues_[static_cast<std::size_t>(vc)];
+    return q.empty() ? nullptr : &q.front();
+  }
+
+  Packet* front(VcIndex vc) {
+    auto& q = queues_[static_cast<std::size_t>(vc)];
+    return q.empty() ? nullptr : &q.front();
+  }
+
+  Packet pop(VcIndex vc) {
+    auto& q = queues_[static_cast<std::size_t>(vc)];
+    FLEXNET_DCHECK(!q.empty());
+    Packet pkt = q.front();
+    q.erase(q.begin());
+    occupancy_[static_cast<std::size_t>(vc)] -= pkt.size;
+    total_occupancy_ -= pkt.size;
+    return pkt;
+  }
+
+  /// Occupied phits in one VC / in the whole port.
+  int occupancy(VcIndex vc) const {
+    return occupancy_[static_cast<std::size_t>(vc)];
+  }
+  int occupancy() const { return total_occupancy_; }
+
+  /// Packets queued in one VC.
+  int packets(VcIndex vc) const {
+    return static_cast<int>(queues_[static_cast<std::size_t>(vc)].size());
+  }
+
+ protected:
+  explicit InputBuffer(int num_vcs)
+      : queues_(static_cast<std::size_t>(num_vcs)),
+        occupancy_(static_cast<std::size_t>(num_vcs), 0) {}
+
+ private:
+  std::vector<std::vector<Packet>> queues_;
+  std::vector<int> occupancy_;
+  int total_occupancy_ = 0;
+};
+
+/// Statically partitioned buffer: `capacity_per_vc` phits per VC.
+class StaticBuffer final : public InputBuffer {
+ public:
+  StaticBuffer(int num_vcs, int capacity_per_vc)
+      : InputBuffer(num_vcs), capacity_per_vc_(capacity_per_vc) {}
+
+  bool can_accept(VcIndex vc, int phits) const override {
+    return occupancy(vc) + phits <= capacity_per_vc_;
+  }
+
+  int free_for(VcIndex vc) const override {
+    return capacity_per_vc_ - occupancy(vc);
+  }
+
+  int total_capacity() const override {
+    return capacity_per_vc_ * num_vcs();
+  }
+
+  int capacity_per_vc() const { return capacity_per_vc_; }
+
+ private:
+  int capacity_per_vc_;
+};
+
+/// DAMQ buffer: every VC owns `private_per_vc` phits; the remaining
+/// `shared_capacity` phits are allocated on demand to any VC (private space
+/// is consumed first, matching the sender-side credit ledger).
+class DamqBuffer final : public InputBuffer {
+ public:
+  DamqBuffer(int num_vcs, int private_per_vc, int shared_capacity)
+      : InputBuffer(num_vcs),
+        private_per_vc_(private_per_vc),
+        shared_capacity_(shared_capacity) {}
+
+  bool can_accept(VcIndex vc, int phits) const override {
+    return free_for(vc) >= phits;
+  }
+
+  int free_for(VcIndex vc) const override {
+    const int private_free =
+        private_per_vc_ - std::min(occupancy(vc), private_per_vc_);
+    return private_free + shared_capacity_ - shared_used();
+  }
+
+  int total_capacity() const override {
+    return private_per_vc_ * num_vcs() + shared_capacity_;
+  }
+
+  int private_per_vc() const { return private_per_vc_; }
+  int shared_capacity() const { return shared_capacity_; }
+
+  /// Phits drawn from the shared pool (overflow beyond private space).
+  int shared_used() const {
+    int used = 0;
+    for (VcIndex vc = 0; vc < num_vcs(); ++vc)
+      used += std::max(0, occupancy(vc) - private_per_vc_);
+    return used;
+  }
+
+ private:
+  int private_per_vc_;
+  int shared_capacity_;
+};
+
+}  // namespace flexnet

@@ -1,0 +1,35 @@
+#include "common/log.hpp"
+
+#include <atomic>
+
+namespace flexnet {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) > g_level.load()) return;
+  std::fprintf(stderr, "[flexnet %s] %s\n", level_tag(level), msg.c_str());
+}
+
+}  // namespace flexnet

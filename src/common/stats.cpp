@@ -1,0 +1,18 @@
+#include "common/stats.hpp"
+
+namespace flexnet {
+
+double Histogram::quantile(double q) const {
+  const std::int64_t total = acc_.count();
+  if (total == 0) return 0.0;
+  const auto target = static_cast<std::int64_t>(
+      q * static_cast<double>(total));
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen > target) return bucket_low(i);
+  }
+  return hi_;
+}
+
+}  // namespace flexnet

@@ -1,0 +1,39 @@
+#include "common/types.hpp"
+
+namespace flexnet {
+
+const char* to_string(LinkType t) {
+  switch (t) {
+    case LinkType::kLocal:
+      return "local";
+    case LinkType::kGlobal:
+      return "global";
+    case LinkType::kInjection:
+      return "injection";
+    case LinkType::kEjection:
+      return "ejection";
+  }
+  return "?";
+}
+
+const char* to_string(MsgClass c) {
+  switch (c) {
+    case MsgClass::kRequest:
+      return "request";
+    case MsgClass::kReply:
+      return "reply";
+  }
+  return "?";
+}
+
+const char* to_string(RouteKind k) {
+  switch (k) {
+    case RouteKind::kMinimal:
+      return "min";
+    case RouteKind::kNonminimal:
+      return "nonmin";
+  }
+  return "?";
+}
+
+}  // namespace flexnet

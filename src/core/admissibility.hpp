@@ -1,0 +1,36 @@
+// Analytical classification of routing mechanisms under a VC arrangement:
+// safe / opportunistic / forbidden. Reproduces Tables I-IV of the paper.
+#pragma once
+
+#include <string>
+
+#include "core/canonical_paths.hpp"
+#include "core/vc_template.hpp"
+
+namespace flexnet {
+
+enum class PathSupport {
+  kSafe,           ///< full reference path embeds above the injection floor
+  kOpportunistic,  ///< traversable with escape paths at every hop
+  kForbidden,      ///< some hop admits no VC with a safe escape
+};
+
+const char* to_string(PathSupport s);
+
+/// Classifies one routing for packets of one message class under FlexVC.
+PathSupport classify_flexvc(const VcTemplate& tmpl, MsgClass cls,
+                            const CanonicalRouting& routing);
+
+/// Classifies one routing under the baseline fixed-VC-per-hop policy: safe
+/// when every hop's distance-based index exists, forbidden otherwise (the
+/// baseline has no opportunistic mode).
+PathSupport classify_baseline(const VcTemplate& tmpl, MsgClass cls,
+                              const CanonicalRouting& routing);
+
+/// Table-cell text combining request and reply classification, matching the
+/// paper's notation: "safe", "opport.", "X", or split request/reply labels
+/// such as "X / opport." (Table IV).
+std::string support_label(PathSupport request, PathSupport reply);
+std::string support_label(PathSupport single);
+
+}  // namespace flexnet

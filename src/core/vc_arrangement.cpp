@@ -1,0 +1,69 @@
+#include "core/vc_arrangement.hpp"
+
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace flexnet {
+namespace {
+
+/// Parses "a/b" (typed) or "a" (untyped) into a (local, global) pair.
+void parse_one(const std::string& text, int& local, int& global, bool& typed) {
+  const auto slash = text.find('/');
+  std::size_t used = 0;
+  if (slash == std::string::npos) {
+    typed = false;
+    local = std::stoi(text, &used);
+    global = 0;
+    if (used != text.size()) throw std::invalid_argument("bad VC count: " + text);
+  } else {
+    typed = true;
+    local = std::stoi(text.substr(0, slash), &used);
+    if (used != slash) throw std::invalid_argument("bad VC count: " + text);
+    global = std::stoi(text.substr(slash + 1), &used);
+    if (used != text.size() - slash - 1)
+      throw std::invalid_argument("bad VC count: " + text);
+  }
+  if (local <= 0 || (typed && global <= 0))
+    throw std::invalid_argument("VC counts must be positive: " + text);
+}
+
+}  // namespace
+
+int VcArrangement::count(MsgClass cls, LinkType type) const {
+  const bool global = typed && type == LinkType::kGlobal;
+  if (cls == MsgClass::kRequest) return global ? req_global : req_local;
+  return global ? rep_global : rep_local;
+}
+
+VcArrangement VcArrangement::parse(const std::string& text) {
+  VcArrangement arr;
+  const auto plus = text.find('+');
+  bool typed_req = true;
+  bool typed_rep = true;
+  if (plus == std::string::npos) {
+    parse_one(text, arr.req_local, arr.req_global, typed_req);
+    arr.rep_local = 0;
+    arr.rep_global = 0;
+    arr.typed = typed_req;
+    return arr;
+  }
+  parse_one(text.substr(0, plus), arr.req_local, arr.req_global, typed_req);
+  parse_one(text.substr(plus + 1), arr.rep_local, arr.rep_global, typed_rep);
+  if (typed_req != typed_rep)
+    throw std::invalid_argument("mixed typed/untyped arrangement: " + text);
+  arr.typed = typed_req;
+  return arr;
+}
+
+std::string VcArrangement::to_string() const {
+  auto one = [this](int local, int global) {
+    return typed ? std::to_string(local) + "/" + std::to_string(global)
+                 : std::to_string(local);
+  };
+  std::string out = one(req_local, req_global);
+  if (has_reply()) out += "+" + one(rep_local, rep_global);
+  return out;
+}
+
+}  // namespace flexnet

@@ -1,0 +1,67 @@
+#include "core/vc_selection.hpp"
+
+#include <stdexcept>
+
+namespace flexnet {
+
+VcSelection parse_vc_selection(const std::string& name) {
+  if (name == "jsq") return VcSelection::kJsq;
+  if (name == "highest") return VcSelection::kHighest;
+  if (name == "lowest") return VcSelection::kLowest;
+  if (name == "random") return VcSelection::kRandom;
+  throw std::invalid_argument("unknown VC selection: " + name);
+}
+
+const char* to_string(VcSelection s) {
+  switch (s) {
+    case VcSelection::kJsq:
+      return "jsq";
+    case VcSelection::kHighest:
+      return "highest";
+    case VcSelection::kLowest:
+      return "lowest";
+    case VcSelection::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+int select_vc(VcSelection policy, std::span<const VcCandidate> cands,
+              const std::function<int(VcIndex)>& free_phits, int needed,
+              Rng& rng) {
+  int best = -1;
+  int best_free = -1;
+  int feasible_count = 0;
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    const int free = free_phits(cands[i].phys);
+    if (free < needed) continue;
+    ++feasible_count;
+    switch (policy) {
+      case VcSelection::kJsq:
+        // Ties break toward the lower template position: packets early in
+        // their path stay in low VCs, relegating the higher-index VCs to
+        // the later hops that have no alternative (SIII-A: this is what
+        // makes FlexVC "immune to congestion caused by excessive occupancy
+        // of a single buffer").
+        if (free > best_free) {
+          best = static_cast<int>(i);
+          best_free = free;
+        }
+        break;
+      case VcSelection::kHighest:
+        best = static_cast<int>(i);  // candidates are position-ascending
+        break;
+      case VcSelection::kLowest:
+        if (best < 0) best = static_cast<int>(i);
+        break;
+      case VcSelection::kRandom:
+        // Reservoir sampling over the feasible subset.
+        if (rng.next_below(static_cast<std::uint64_t>(feasible_count)) == 0)
+          best = static_cast<int>(i);
+        break;
+    }
+  }
+  return best;
+}
+
+}  // namespace flexnet

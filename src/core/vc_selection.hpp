@@ -1,0 +1,36 @@
+// VC selection functions (paper SVI-A).
+//
+// When FlexVC admits several VCs for a hop, the router picks one among those
+// with room for the whole packet. The paper evaluates four functions and
+// finds JSQ best, closely followed by highest-VC; lowest-VC consistently
+// worst (it saturates the low-index VCs needed by earlier hops).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/vc_policy.hpp"
+
+namespace flexnet {
+
+enum class VcSelection {
+  kJsq,      ///< Join the Shortest Queue: most free space downstream
+  kHighest,  ///< highest template position
+  kLowest,   ///< lowest template position
+  kRandom,   ///< uniform among feasible
+};
+
+VcSelection parse_vc_selection(const std::string& name);
+const char* to_string(VcSelection s);
+
+/// Picks one candidate among those for which `free_phits(phys) >= needed`.
+/// Returns the index into `cands`, or -1 if none is feasible.
+///
+/// `free_phits` reports the sender-side credit count for the downstream VC.
+int select_vc(VcSelection policy, std::span<const VcCandidate> cands,
+              const std::function<int(VcIndex)>& free_phits, int needed,
+              Rng& rng);
+
+}  // namespace flexnet

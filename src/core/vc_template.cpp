@@ -1,0 +1,143 @@
+#include "core/vc_template.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace flexnet {
+namespace {
+
+constexpr LinkType kL = LinkType::kLocal;
+constexpr LinkType kG = LinkType::kGlobal;
+
+/// Reference-path skeleton for a typed (Dragonfly-like l-g-l) network; see
+/// the header for the table. The skeleton never uses more VCs than (nl, ng).
+std::vector<LinkType> typed_skeleton(int nl, int ng) {
+  FLEXNET_CHECK_MSG(nl >= 2 && ng >= 1,
+                    "typed arrangements need at least 2 local / 1 global VCs");
+  std::vector<LinkType> base;
+  if (ng >= 2) {
+    if (nl >= 5)
+      base = {kL, kL, kG, kL, kL, kG, kL};
+    else if (nl == 4)
+      base = {kL, kG, kL, kL, kG, kL};
+    else if (nl == 3)
+      base = {kL, kG, kL, kG, kL};
+    else
+      base = {kG, kL, kG, kL};
+  } else {
+    base = {kL, kG, kL};
+  }
+  const auto count = [&base](LinkType t) {
+    return static_cast<int>(std::count(base.begin(), base.end(), t));
+  };
+  // Surplus VCs go to the start of the reference path (SIII-C): extra
+  // globals lowest, then extra locals, then the skeleton.
+  std::vector<LinkType> out(static_cast<std::size_t>(ng - count(kG)), kG);
+  out.insert(out.end(), static_cast<std::size_t>(nl - count(kL)), kL);
+  out.insert(out.end(), base.begin(), base.end());
+  return out;
+}
+
+}  // namespace
+
+VcTemplate::VcTemplate(const VcArrangement& arrangement)
+    : arrangement_(arrangement) {
+  append_class(MsgClass::kRequest);
+  request_limit_ = static_cast<int>(order_.size());
+  if (arrangement_.has_reply()) append_class(MsgClass::kReply);
+  for (int t = 0; t < kNumNetworkLinkTypes; ++t) {
+    auto& list = type_positions_[t];
+    for (int p = 0; p < num_positions(); ++p)
+      if (order_[static_cast<std::size_t>(p)].type == static_cast<LinkType>(t))
+        list.push_back(p);
+  }
+}
+
+void VcTemplate::append_class(MsgClass cls) {
+  std::vector<LinkType> seq;
+  if (arrangement_.typed) {
+    seq = typed_skeleton(arrangement_.count(cls, kL), arrangement_.count(cls, kG));
+  } else {
+    seq.assign(static_cast<std::size_t>(arrangement_.count(cls, kL)), kL);
+  }
+  int next_index[2] = {0, 0};
+  for (LinkType t : seq) {
+    order_.push_back(VcRef{cls, t, next_index[static_cast<int>(t)]++});
+  }
+}
+
+int VcTemplate::position(const VcRef& vc) const {
+  for (int p = 0; p < num_positions(); ++p)
+    if (order_[static_cast<std::size_t>(p)] == vc) return p;
+  FLEXNET_CHECK_MSG(false, "VC not present in template");
+  return -1;
+}
+
+VcIndex VcTemplate::physical_index(const VcRef& vc) const {
+  const LinkType t = effective(vc.type);
+  if (vc.cls == MsgClass::kRequest) return vc.index;
+  return arrangement_.count(MsgClass::kRequest, t) + vc.index;
+}
+
+VcRef VcTemplate::from_physical(LinkType port_type, VcIndex phys) const {
+  const LinkType t = effective(port_type);
+  const int req = arrangement_.count(MsgClass::kRequest, t);
+  FLEXNET_DCHECK(phys >= 0 && phys < arrangement_.vcs_per_port(t));
+  if (phys < req) return VcRef{MsgClass::kRequest, t, phys};
+  return VcRef{MsgClass::kReply, t, phys - req};
+}
+
+int VcTemplate::embed(const HopSeq& seq, int from, int limit) const {
+  int pos = from;
+  for (LinkType hop : seq) {
+    const auto& list = type_positions_[static_cast<int>(effective(hop))];
+    // First position of this type strictly above `pos`.
+    const auto it = std::upper_bound(list.begin(), list.end(), pos);
+    if (it == list.end() || *it >= limit) return -1;
+    pos = *it;
+  }
+  return pos;
+}
+
+bool VcTemplate::embed_range(const HopSeq& seq, TypeFloors floors, int from,
+                             int lo, int hi) const {
+  int tfloor = std::max(from, lo - 1);
+  for (LinkType hop : seq) {
+    const int t = static_cast<int>(effective(hop));
+    const auto& list = type_positions_[t];
+    const int above = std::max(tfloor, floors[t]);
+    const auto it = std::upper_bound(list.begin(), list.end(), above);
+    if (it == list.end() || *it >= hi) return false;
+    floors[t] = *it;
+    tfloor = *it;
+  }
+  return true;
+}
+
+int VcTemplate::lowest_of_type(LinkType type, int from, int limit) const {
+  const auto& list = type_positions_[static_cast<int>(effective(type))];
+  const auto it = std::lower_bound(list.begin(), list.end(), from);
+  if (it == list.end() || *it >= limit) return -1;
+  return *it;
+}
+
+const std::vector<int>& VcTemplate::positions_of_type(LinkType type) const {
+  return type_positions_[static_cast<int>(effective(type))];
+}
+
+std::string VcTemplate::to_string() const {
+  std::string out;
+  for (int p = 0; p < num_positions(); ++p) {
+    if (p == request_limit_) out += "| ";
+    const VcRef& vc = order_[static_cast<std::size_t>(p)];
+    out += (vc.type == kG) ? 'g' : 'l';
+    out += std::to_string(vc.index);
+    if (vc.cls == MsgClass::kReply) out += '\'';
+    out += ' ';
+  }
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+}  // namespace flexnet

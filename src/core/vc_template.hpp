@@ -1,0 +1,179 @@
+// The VC template: a total order over every virtual channel of a message
+// class sequence, implementing the paper's relaxed distance-based deadlock
+// avoidance (SIII).
+//
+// Distance-based deadlock avoidance assigns each hop of a *reference path* a
+// VC, and deadlock freedom follows by induction on the position of the VC in
+// that path (the last VC only depends on consumption). FlexVC keeps the
+// *order* of the reference path but lets a packet use any VC whose template
+// position is (a) not lower than the position of the buffer it currently
+// occupies and (b) still leaves room above it for a safe escape path.
+//
+// Template construction follows the paper:
+//  * Typed networks (Dragonfly): the skeleton is the reference path of the
+//    longest safe routing the arrangement supports —
+//      ng>=2, nl>=5 : l l g l l g l   (safe PAR, SII)
+//      ng>=2, nl==4 : l g l l g l     (safe VAL)
+//      ng>=2, nl==3 : l g l g l       (opportunistic VAL/PAR, SIII-C)
+//      ng>=2, nl==2 : g l g l
+//      ng==1        : l g l           (MIN)
+//    "Additional VCs of any given type are inserted at the start of the
+//    reference path" (SIII-C): surplus globals first, then surplus locals,
+//    then the skeleton.
+//  * Untyped networks (generic diameter-2): positions equal indices.
+//  * Request-reply traffic concatenates the request template and the reply
+//    template into one unified sequence (SIII-B): requests may only use
+//    request positions; replies may use the whole sequence.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/hop_seq.hpp"
+#include "core/vc_arrangement.hpp"
+
+namespace flexnet {
+
+/// Identity of one virtual channel independent of any port: message-class
+/// segment, link type, and index within that (class, type) group.
+struct VcRef {
+  MsgClass cls = MsgClass::kRequest;
+  LinkType type = LinkType::kLocal;
+  int index = 0;
+
+  bool operator==(const VcRef&) const = default;
+};
+
+class VcTemplate {
+ public:
+  explicit VcTemplate(const VcArrangement& arrangement);
+
+  const VcArrangement& arrangement() const { return arrangement_; }
+
+  int num_positions() const { return static_cast<int>(order_.size()); }
+
+  /// First position of the reply segment (== num_positions() when the
+  /// arrangement has no reply class). Requests are restricted to positions
+  /// below this limit.
+  int request_limit() const { return request_limit_; }
+
+  /// Upper position bound (exclusive) usable by a packet of class `cls`.
+  /// Requests are confined to the request segment; replies may additionally
+  /// occupy request VCs (Theorem 2).
+  int class_limit(MsgClass cls) const {
+    return cls == MsgClass::kRequest ? request_limit_ : num_positions();
+  }
+
+  /// Bounds of the class's *own* segment [lo, hi). Safe paths — on which a
+  /// packet may wait indefinitely — must embed within the packet's own
+  /// segment; for replies, request VCs are opportunistic extensions only
+  /// (SIII-B: "opportunistic reply hops ... can leverage lower-index
+  /// request VCs").
+  int segment_lo(MsgClass cls) const {
+    return cls == MsgClass::kRequest ? 0 : request_limit_;
+  }
+  int segment_hi(MsgClass cls) const {
+    return cls == MsgClass::kRequest ? request_limit_ : num_positions();
+  }
+
+  /// Embeds `seq` strictly above `from` using only the class's own segment:
+  /// the safe-path existence test behind both Definition 1 (safe hops) and
+  /// the escape requirement of Definition 2.
+  int embed_safe(const HopSeq& seq, int from, MsgClass cls) const {
+    const int lo = segment_lo(cls);
+    return embed(seq, from < lo ? lo - 1 : from, segment_hi(cls));
+  }
+
+  /// Per-link-type floors: the template position of the last VC of each
+  /// type a packet has used (kNoFloor when none). VC indices must increase
+  /// strictly *per type* along a path; a hop of one type never constrains
+  /// the other type's index. Combined with the fixed type order of
+  /// reference paths this keeps waiting chains acyclic (the FOGSim-lineage
+  /// Dragonfly argument), while avoiding cross-type floor propagation that
+  /// would needlessly burn high-index VCs.
+  using TypeFloors = std::array<int, kNumNetworkLinkTypes>;
+  static constexpr int kNoFloor = -1;
+  static constexpr TypeFloors no_floors() { return {kNoFloor, kNoFloor}; }
+
+  int& floor_of(TypeFloors& floors, LinkType t) const {
+    return floors[static_cast<int>(effective(t))];
+  }
+  int floor_of(const TypeFloors& floors, LinkType t) const {
+    return floors[static_cast<int>(effective(t))];
+  }
+
+  /// Path-embedding test for a packet with the given per-type floors
+  /// standing at template position `from`: a template-increasing sequence
+  /// of VCs strictly above `from` that also respects the per-type floors,
+  /// within positions [lo, hi). Greedy (lowest-next) is exact because
+  /// feasibility is monotone in every floor.
+  bool embed_range(const HopSeq& seq, TypeFloors floors, int from, int lo,
+                   int hi) const;
+
+  /// Safe-path existence (Definitions 1/2): embedding within the class's
+  /// *own* segment — the paths a packet may wait on indefinitely.
+  bool embed_path(const HopSeq& seq, const TypeFloors& floors, int from,
+                  MsgClass cls) const {
+    return embed_range(seq, floors, from, segment_lo(cls), segment_hi(cls));
+  }
+
+  /// Trajectory viability over the class's full allowed range: requests see
+  /// their own segment, replies the whole unified sequence (Theorem 2 —
+  /// how a Valiant reply runs through request VCs under Table IV's 4/2).
+  bool embed_reachable(const HopSeq& seq, const TypeFloors& floors, int from,
+                       MsgClass cls) const {
+    return embed_range(seq, floors, from, 0, class_limit(cls));
+  }
+
+  /// Template position of a VC; positions are unique and totally ordered.
+  int position(const VcRef& vc) const;
+
+  /// VC occupying a template position.
+  const VcRef& at(int position) const { return order_[static_cast<std::size_t>(position)]; }
+
+  /// Physical buffer index of `vc` on an input port of its link type
+  /// (request VCs occupy the low indices, reply VCs follow).
+  VcIndex physical_index(const VcRef& vc) const;
+
+  /// Inverse of physical_index for a port of the given link type.
+  VcRef from_physical(LinkType port_type, VcIndex phys) const;
+
+  /// Physical VCs on a network port of the given type.
+  int vcs_per_port(LinkType port_type) const {
+    return arrangement_.vcs_per_port(effective(port_type));
+  }
+
+  /// Greedily embeds a hop-type sequence into template positions that are
+  /// strictly increasing, strictly above `from`, and strictly below `limit`.
+  /// Returns the position of the last hop, `from` for an empty sequence, or
+  /// -1 when no embedding exists. This is the safe-path existence test of
+  /// Definitions 1 and 2.
+  int embed(const HopSeq& seq, int from, int limit) const;
+
+  /// Position of the lowest VC of the given type at or above `from` and
+  /// below `limit`, or -1.
+  int lowest_of_type(LinkType type, int from, int limit) const;
+
+  /// All template positions holding VCs of the given type, ascending.
+  const std::vector<int>& positions_of_type(LinkType type) const;
+
+  /// Human-readable order, e.g. "l0 g0 l1 | l0' g0' l1'".
+  std::string to_string() const;
+
+ private:
+  LinkType effective(LinkType t) const {
+    // Untyped arrangements fold every network link onto the local counts.
+    return arrangement_.typed ? t : LinkType::kLocal;
+  }
+
+  void append_class(MsgClass cls);
+
+  VcArrangement arrangement_;
+  std::vector<VcRef> order_;                 // position -> VC
+  std::vector<int> type_positions_[2];       // per LinkType (local, global)
+  int request_limit_ = 0;
+};
+
+}  // namespace flexnet

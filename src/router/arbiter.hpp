@@ -1,0 +1,60 @@
+// Round-robin arbiter: the building block of the iterative input-first
+// separable allocator (Table V). One instance arbitrates among the VCs of an
+// input port (input stage); another among the input ports requesting an
+// output port (output stage).
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace flexnet {
+
+class RoundRobinArbiter {
+ public:
+  explicit RoundRobinArbiter(int width = 0) : width_(width) {}
+
+  void reset(int width) {
+    width_ = width;
+    pointer_ = 0;
+  }
+
+  int width() const { return width_; }
+
+  /// Grants the first requesting index at or after the pointer (wrapping);
+  /// advances the pointer past the grant so every requester is served within
+  /// `width` grants (strong fairness). Returns -1 when nothing requests.
+  template <typename RequestFn>
+  int arbitrate(RequestFn&& requesting) {
+    FLEXNET_DCHECK(width_ > 0);
+    for (int i = 0; i < width_; ++i) {
+      const int idx = (pointer_ + i) % width_;
+      if (requesting(idx)) {
+        pointer_ = (idx + 1) % width_;
+        return idx;
+      }
+    }
+    return -1;
+  }
+
+  /// Peek variant that does not move the pointer (used when a grant may
+  /// still be rejected by the other allocator stage).
+  template <typename RequestFn>
+  int peek(RequestFn&& requesting) const {
+    for (int i = 0; i < width_; ++i) {
+      const int idx = (pointer_ + i) % width_;
+      if (requesting(idx)) return idx;
+    }
+    return -1;
+  }
+
+  void advance_past(int idx) { pointer_ = (idx + 1) % width_; }
+
+  int pointer() const { return pointer_; }
+
+ private:
+  int width_ = 0;
+  int pointer_ = 0;
+};
+
+}  // namespace flexnet

@@ -1,0 +1,73 @@
+// Output unit of a combined input-output buffered router: the router
+// pipeline delay, a small per-port output buffer, and the link serializer.
+//
+// Grants reserve output-buffer space immediately; the packet becomes visible
+// in the buffer after the router pipeline latency (Table V: 5 cycles) and is
+// then serialized onto the link at one phit per cycle. The crossbar may be
+// clocked faster than the link (router speedup 2x), which is modeled by
+// allowing `speedup` grants per link cycle into this buffer while the
+// serializer drains at link rate.
+#pragma once
+
+#include <deque>
+
+#include "buffers/packet.hpp"
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace flexnet {
+
+class OutputUnit {
+ public:
+  OutputUnit(int buffer_capacity, int pipeline_latency)
+      : capacity_(buffer_capacity), pipeline_latency_(pipeline_latency) {}
+
+  /// Space check used by the allocator before granting.
+  bool can_reserve(int phits) const { return occupancy_ + phits <= capacity_; }
+
+  /// Accepts a granted packet: space is reserved now; the packet reaches the
+  /// buffer head after the pipeline latency.
+  void accept(const Packet& pkt, VcIndex downstream_vc, Cycle now) {
+    FLEXNET_DCHECK(can_reserve(pkt.size));
+    occupancy_ += pkt.size;
+    pipeline_.push_back(Entry{pkt, downstream_vc, now + pipeline_latency_});
+  }
+
+  /// True when a packet is ready to start serializing onto the link.
+  bool ready_to_send(Cycle now) const {
+    return !pipeline_.empty() && pipeline_.front().ready <= now &&
+           link_busy_until_ <= now;
+  }
+
+  /// Starts transmitting the head packet; the link stays busy for the
+  /// packet's serialization time. Returns the packet and its target VC.
+  Packet start_send(Cycle now, VcIndex& downstream_vc) {
+    FLEXNET_DCHECK(ready_to_send(now));
+    Entry e = pipeline_.front();
+    pipeline_.pop_front();
+    occupancy_ -= e.pkt.size;
+    link_busy_until_ = now + e.pkt.size;
+    downstream_vc = e.vc;
+    return e.pkt;
+  }
+
+  int occupancy() const { return occupancy_; }
+  int capacity() const { return capacity_; }
+  bool idle() const { return pipeline_.empty(); }
+  Cycle link_busy_until() const { return link_busy_until_; }
+
+ private:
+  struct Entry {
+    Packet pkt;
+    VcIndex vc;
+    Cycle ready;
+  };
+
+  int capacity_;
+  int pipeline_latency_;
+  int occupancy_ = 0;
+  Cycle link_busy_until_ = 0;
+  std::deque<Entry> pipeline_;
+};
+
+}  // namespace flexnet

@@ -1,0 +1,22 @@
+#include "routing/minimal.hpp"
+
+namespace flexnet {
+
+void MinimalRouting::route(const Packet& pkt, RouterId router, Rng& rng,
+                           std::vector<RouteOption>& out) const {
+  if (router == dst_router(pkt)) {
+    out.push_back(ejection_option());
+    return;
+  }
+  out.push_back(continue_option(pkt, router, rng));
+}
+
+HopSeq MinimalRouting::reference_path() const {
+  if (topo_.typed())
+    return {LinkType::kLocal, LinkType::kGlobal, LinkType::kLocal};
+  HopSeq seq;
+  for (int i = 0; i < topo_.diameter(); ++i) seq.push_back(LinkType::kLocal);
+  return seq;
+}
+
+}  // namespace flexnet

@@ -1,0 +1,21 @@
+// MIN: oblivious minimal routing (l-g-l in a Dragonfly). Optimal for
+// uniform traffic; collapses under adversarial patterns (paper SII).
+#pragma once
+
+#include "routing/routing.hpp"
+
+namespace flexnet {
+
+class MinimalRouting final : public RoutingAlgorithm {
+ public:
+  using RoutingAlgorithm::RoutingAlgorithm;
+
+  std::string name() const override { return "min"; }
+
+  void route(const Packet& pkt, RouterId router, Rng& rng,
+             std::vector<RouteOption>& out) const override;
+
+  HopSeq reference_path() const override;
+};
+
+}  // namespace flexnet

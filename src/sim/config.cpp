@@ -1,0 +1,67 @@
+#include "sim/config.hpp"
+
+#include <sstream>
+
+namespace flexnet {
+
+void SimConfig::apply(const Options& o) {
+  topology = o.get("topology", topology);
+  dragonfly.p = static_cast<int>(o.get_int("df_p", dragonfly.p));
+  dragonfly.a = static_cast<int>(o.get_int("df_a", dragonfly.a));
+  dragonfly.h = static_cast<int>(o.get_int("df_h", dragonfly.h));
+  if (o.get_bool("paper_scale", false)) dragonfly = DragonflyParams::paper_scale();
+  fb.p = static_cast<int>(o.get_int("fb_p", fb.p));
+  fb.a = static_cast<int>(o.get_int("fb_a", fb.a));
+  slimfly.p = static_cast<int>(o.get_int("sf_p", slimfly.p));
+  slimfly.q = static_cast<int>(o.get_int("sf_q", slimfly.q));
+
+  vcs = o.get("vcs", vcs);
+  policy = o.get("policy", policy);
+  vc_selection = o.get("vc_selection", vc_selection);
+
+  local_buffer_per_vc = static_cast<int>(o.get_int("local_buffer", local_buffer_per_vc));
+  global_buffer_per_vc = static_cast<int>(o.get_int("global_buffer", global_buffer_per_vc));
+  injection_buffer_per_vc = static_cast<int>(o.get_int("injection_buffer", injection_buffer_per_vc));
+  output_buffer = static_cast<int>(o.get_int("output_buffer", output_buffer));
+  local_port_capacity = static_cast<int>(o.get_int("local_port_capacity", local_port_capacity));
+  global_port_capacity = static_cast<int>(o.get_int("global_port_capacity", global_port_capacity));
+  buffer_org = o.get("buffer_org", buffer_org);
+  damq_private_fraction = o.get_double("damq_private_fraction", damq_private_fraction);
+
+  speedup = static_cast<int>(o.get_int("speedup", speedup));
+  alloc_iters = static_cast<int>(o.get_int("alloc_iters", alloc_iters));
+  pipeline_latency = static_cast<int>(o.get_int("pipeline_latency", pipeline_latency));
+  injection_vcs = static_cast<int>(o.get_int("injection_vcs", injection_vcs));
+
+  local_latency = static_cast<int>(o.get_int("local_latency", local_latency));
+  global_latency = static_cast<int>(o.get_int("global_latency", global_latency));
+
+  routing = o.get("routing", routing);
+  pb_per_vc = o.get_bool("pb_per_vc", pb_per_vc);
+  mincred = o.get_bool("mincred", mincred);
+  adaptive_threshold = static_cast<int>(o.get_int("threshold", adaptive_threshold));
+
+  traffic = o.get("traffic", traffic);
+  reactive = o.get_bool("reactive", reactive);
+  load = o.get_double("load", load);
+  burst_length = o.get_double("burst_length", burst_length);
+  adversarial_offset = static_cast<int>(o.get_int("adv_offset", adversarial_offset));
+  reply_queue_capacity = static_cast<int>(o.get_int("reply_queue", reply_queue_capacity));
+  packet_size = static_cast<int>(o.get_int("packet_size", packet_size));
+
+  warmup = o.get_int("warmup", warmup);
+  measure = o.get_int("measure", measure);
+  seed = static_cast<std::uint64_t>(o.get_int("seed", static_cast<std::int64_t>(seed)));
+  watchdog = o.get_int("watchdog", watchdog);
+}
+
+std::string SimConfig::summary() const {
+  std::ostringstream out;
+  out << topology << " vcs=" << vcs << " policy=" << policy
+      << " org=" << buffer_org << " routing=" << routing
+      << " traffic=" << traffic << (reactive ? "+reactive" : "")
+      << " load=" << load << " seed=" << seed;
+  return out.str();
+}
+
+}  // namespace flexnet

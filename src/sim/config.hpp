@@ -1,0 +1,79 @@
+// Simulation configuration: Table V defaults, scaled-down topology.
+#pragma once
+
+#include <string>
+
+#include "common/options.hpp"
+#include "common/types.hpp"
+#include "topology/dragonfly.hpp"
+#include "topology/flattened_butterfly.hpp"
+#include "topology/slimfly.hpp"
+
+namespace flexnet {
+
+struct SimConfig {
+  // --- Topology. The paper's system is dragonfly (8,16,8); the default
+  // here is a scaled-down (2,4,2) instance with identical microarchitecture
+  // parameters so experiment suites run on one core.
+  std::string topology = "dragonfly";  // dragonfly | fb | slimfly
+  DragonflyParams dragonfly{2, 4, 2};
+  FlattenedButterflyParams fb{2, 4};
+  SlimFlyParams slimfly{2, 5};
+
+  // --- VC management (the subject of the paper).
+  std::string vcs = "2/1";         ///< arrangement, e.g. "4/2", "4/2+2/1", "3"
+  std::string policy = "baseline"; ///< baseline | flexvc
+  std::string vc_selection = "jsq";
+
+  // --- Buffers, in phits (Table V).
+  int local_buffer_per_vc = 32;
+  int global_buffer_per_vc = 256;
+  int injection_buffer_per_vc = 256;
+  int output_buffer = 32;
+  /// When > 0, fix the total port capacity and divide it among the VCs
+  /// (the constant-capacity comparisons of Figs 6/11).
+  int local_port_capacity = 0;
+  int global_port_capacity = 0;
+  std::string buffer_org = "static";  // static | damq
+  double damq_private_fraction = 0.75;
+
+  // --- Router microarchitecture (Table V).
+  int speedup = 2;          ///< crossbar frequency multiple of the link clock
+  int alloc_iters = 2;      ///< iterations of the separable allocator
+  int pipeline_latency = 5; ///< cycles
+  int injection_vcs = 3;
+
+  // --- Links (Table V).
+  int local_latency = 10;
+  int global_latency = 100;
+
+  // --- Routing.
+  std::string routing = "min";  // min | val | par | pb | ugal
+  bool pb_per_vc = false;       ///< PB per-VC vs per-port sensing
+  bool mincred = false;         ///< FlexVC-minCred credit accounting
+  int adaptive_threshold = 3;   ///< T, packets (Table V)
+
+  // --- Traffic.
+  std::string traffic = "uniform";  // uniform | adversarial | bursty
+  bool reactive = false;            ///< request-reply dependencies
+  double load = 0.5;                ///< offered phits/node/cycle
+  double burst_length = 5.0;        ///< BURSTY-UN mean packets per burst
+  int adversarial_offset = 1;
+  int reply_queue_capacity = 8;  ///< packets; bounds request consumption
+  int packet_size = 8;
+
+  // --- Run control.
+  Cycle warmup = 10000;
+  Cycle measure = 30000;
+  std::uint64_t seed = 1;
+  /// Cycles without any packet movement (with packets inside the network)
+  /// before the run is declared deadlocked.
+  Cycle watchdog = 20000;
+
+  /// Applies "key=value" overrides (load=0.6 vcs=4/2 policy=flexvc ...).
+  void apply(const Options& opts);
+
+  std::string summary() const;
+};
+
+}  // namespace flexnet

@@ -1,0 +1,109 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace flexnet {
+
+double SweepResult::max_accepted() const {
+  double best = 0.0;
+  for (const auto& row : rows) best = std::max(best, row.result.accepted);
+  return best;
+}
+
+double SweepResult::saturation_accepted() const {
+  return rows.empty() ? 0.0 : rows.back().result.accepted;
+}
+
+std::vector<SweepResult> run_load_sweep(
+    const std::vector<ExperimentSeries>& series,
+    const std::vector<double>& loads, int seeds,
+    const std::function<void(const std::string&, double, const SimResult&)>&
+        progress) {
+  std::vector<SweepResult> out;
+  out.reserve(series.size());
+  for (const auto& s : series) {
+    SweepResult sweep;
+    sweep.label = s.label;
+    for (double load : loads) {
+      SimConfig cfg = s.config;
+      cfg.load = load;
+      SweepRow row;
+      row.load = load;
+      row.result = run_averaged(cfg, seeds);
+      if (progress) progress(s.label, load, row.result);
+      sweep.rows.push_back(row);
+    }
+    out.push_back(std::move(sweep));
+  }
+  return out;
+}
+
+std::vector<double> load_points(double lo, double hi, int count) {
+  std::vector<double> loads;
+  for (int i = 0; i < count; ++i) {
+    loads.push_back(count == 1 ? hi
+                               : lo + (hi - lo) * i / (count - 1));
+  }
+  return loads;
+}
+
+void print_sweep_table(const std::string& title,
+                       const std::vector<SweepResult>& sweeps) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%-8s", "load");
+  for (const auto& s : sweeps)
+    std::printf(" | %-28s", s.label.c_str());
+  std::printf("\n%-8s", "");
+  for (std::size_t i = 0; i < sweeps.size(); ++i)
+    std::printf(" | %-13s %-14s", "accepted", "latency");
+  std::printf("\n");
+  if (sweeps.empty()) return;
+  for (std::size_t r = 0; r < sweeps.front().rows.size(); ++r) {
+    std::printf("%-8.3f", sweeps.front().rows[r].load);
+    for (const auto& s : sweeps) {
+      const SimResult& res = s.rows[r].result;
+      if (res.deadlock) {
+        std::printf(" | %-13s %-14s", "DEADLOCK", "-");
+      } else {
+        std::printf(" | %-13.4f %-14.1f", res.accepted, res.avg_latency);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+void print_throughput_summary(const std::string& title,
+                              const std::vector<SweepResult>& sweeps) {
+  std::printf("\n== %s : maximum throughput ==\n", title.c_str());
+  const double base = sweeps.empty() ? 0.0 : sweeps.front().max_accepted();
+  for (const auto& s : sweeps) {
+    const double acc = s.max_accepted();
+    std::printf("  %-32s %7.4f phits/node/cycle  (%+.1f%% vs %s)\n",
+                s.label.c_str(), acc,
+                base > 0 ? 100.0 * (acc / base - 1.0) : 0.0,
+                sweeps.front().label.c_str());
+  }
+}
+
+BenchScale bench_scale() {
+  BenchScale scale;
+  scale.dragonfly = DragonflyParams{2, 4, 2};
+  const char* env = std::getenv("FLEXNET_SCALE");
+  if (env != nullptr) {
+    if (std::strcmp(env, "h4") == 0) {
+      scale.dragonfly = DragonflyParams{4, 8, 4};
+    } else if (std::strcmp(env, "h8") == 0 || std::strcmp(env, "paper") == 0) {
+      scale.dragonfly = DragonflyParams::paper_scale();
+    }
+  }
+  if (const char* seeds = std::getenv("FLEXNET_SEEDS"))
+    scale.seeds = std::max(1, std::atoi(seeds));
+  if (const char* measure = std::getenv("FLEXNET_MEASURE"))
+    scale.measure = std::max<Cycle>(1000, std::atoll(measure));
+  return scale;
+}
+
+}  // namespace flexnet

@@ -1,0 +1,69 @@
+// Experiment harness: named configurations swept over offered load, with
+// the console table output the benches print for each paper figure.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace flexnet {
+
+/// One labeled configuration in a figure (e.g. "FlexVC 4/2VCs").
+struct ExperimentSeries {
+  std::string label;
+  SimConfig config;
+};
+
+struct SweepRow {
+  double load = 0.0;
+  SimResult result;
+};
+
+struct SweepResult {
+  std::string label;
+  std::vector<SweepRow> rows;
+
+  /// Maximum accepted load over the sweep (the paper's "maximum
+  /// throughput" metric of Figs 6/9/11).
+  double max_accepted() const;
+
+  /// Accepted load at the highest offered load (saturation throughput).
+  double saturation_accepted() const;
+};
+
+/// Runs `series` over the offered loads, averaging `seeds` seeds per point.
+/// `progress` (optional) is invoked after each point for console feedback.
+std::vector<SweepResult> run_load_sweep(
+    const std::vector<ExperimentSeries>& series,
+    const std::vector<double>& loads, int seeds,
+    const std::function<void(const std::string&, double, const SimResult&)>&
+        progress = nullptr);
+
+/// Evenly spaced loads in [lo, hi].
+std::vector<double> load_points(double lo, double hi, int count);
+
+/// Prints a fixed-width table: one row per load, one column pair
+/// (accepted, latency) per series. Matches the data of the paper's
+/// latency+throughput figure panels.
+void print_sweep_table(const std::string& title,
+                       const std::vector<SweepResult>& sweeps);
+
+/// Prints a one-line-per-series summary of maximum throughput (the bar
+/// charts of Figs 6/9/11), with relative improvement over the first series.
+void print_throughput_summary(const std::string& title,
+                              const std::vector<SweepResult>& sweeps);
+
+/// Reads the bench scale from FLEXNET_SCALE (h2 | h4 | h8/paper); defaults
+/// to the 36-router h=2 system. Also honors FLEXNET_SEEDS and
+/// FLEXNET_MEASURE overrides.
+struct BenchScale {
+  DragonflyParams dragonfly;
+  int seeds = 1;
+  Cycle warmup = 10000;
+  Cycle measure = 20000;
+};
+BenchScale bench_scale();
+
+}  // namespace flexnet

@@ -1,0 +1,600 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+
+#include "common/check.hpp"
+#include "core/admissibility.hpp"
+#include "core/baseline_policy.hpp"
+#include "routing/minimal.hpp"
+#include "routing/par.hpp"
+#include "routing/piggyback.hpp"
+#include "routing/ugal.hpp"
+#include "routing/valiant.hpp"
+
+namespace flexnet {
+namespace {
+
+std::unique_ptr<Topology> make_topology(const SimConfig& cfg) {
+  if (cfg.topology == "dragonfly")
+    return std::make_unique<Dragonfly>(cfg.dragonfly);
+  if (cfg.topology == "fb")
+    return std::make_unique<FlattenedButterfly>(cfg.fb);
+  if (cfg.topology == "slimfly") return std::make_unique<SlimFly>(cfg.slimfly);
+  throw std::invalid_argument("unknown topology: " + cfg.topology);
+}
+
+}  // namespace
+
+Network::Network(const SimConfig& config) : config_(config) {
+  topo_ = make_topology(config_);
+
+  const VcArrangement arrangement = VcArrangement::parse(config_.vcs);
+  FLEXNET_CHECK_MSG(arrangement.typed == topo_->typed(),
+                    "typed/untyped VC arrangement does not match topology");
+  FLEXNET_CHECK_MSG(arrangement.has_reply() == config_.reactive,
+                    "request-reply arrangements require reactive traffic "
+                    "and vice versa");
+  if (config_.policy == "baseline") {
+    policy_ = std::make_unique<BaselinePolicy>(arrangement);
+  } else if (config_.policy == "flexvc") {
+    policy_ = std::make_unique<FlexVcPolicy>(arrangement);
+  } else {
+    throw std::invalid_argument("unknown policy: " + config_.policy);
+  }
+  selection_ = parse_vc_selection(config_.vc_selection);
+
+  if (config_.routing == "min") {
+    routing_ = std::make_unique<MinimalRouting>(*topo_);
+  } else if (config_.routing == "val") {
+    routing_ = std::make_unique<ValiantRouting>(*topo_);
+  } else if (config_.routing == "par") {
+    routing_ = std::make_unique<ParRouting>(
+        *topo_, *this, config_.packet_size,
+        ParConfig{config_.adaptive_threshold, config_.mincred});
+  } else if (config_.routing == "ugal") {
+    routing_ = std::make_unique<UgalRouting>(
+        *topo_, *this, config_.packet_size,
+        UgalConfig{config_.adaptive_threshold, config_.mincred});
+  } else if (config_.routing == "pb") {
+    auto* df = dynamic_cast<const Dragonfly*>(topo_.get());
+    FLEXNET_CHECK_MSG(df != nullptr, "Piggyback routing requires a Dragonfly");
+    // Minimal traffic uses the first global VC of its class segment — the
+    // VC the per-VC variant senses.
+    std::array<VcIndex, kNumMsgClasses> first_vc{0, kInvalidVc};
+    if (arrangement.has_reply())
+      first_vc[1] = arrangement.count(MsgClass::kRequest, LinkType::kGlobal);
+    PiggybackConfig pb;
+    pb.per_vc = config_.pb_per_vc;
+    pb.min_only = config_.mincred;
+    pb.threshold_packets = config_.adaptive_threshold;
+    routing_ = std::make_unique<PiggybackRouting>(*df, *this,
+                                                  config_.packet_size, pb,
+                                                  first_vc);
+  } else {
+    throw std::invalid_argument("unknown routing: " + config_.routing);
+  }
+
+  // Validate that the arrangement supports the routing mechanism: under the
+  // baseline the full reference must embed; FlexVC also accepts
+  // opportunistic arrangements (Tables I-IV).
+  {
+    const HopSeq ref = routing_->reference_path();
+    const VcTemplate& tmpl = policy_->tmpl();
+    for (int c = 0; c < (arrangement.has_reply() ? 2 : 1); ++c) {
+      const auto cls = static_cast<MsgClass>(c);
+      const bool safe =
+          tmpl.embed_safe(ref, kInjectionPosition, cls) >= 0 ||
+          (cls == MsgClass::kReply &&
+           tmpl.embed(ref, kInjectionPosition, tmpl.num_positions()) >= 0);
+      if (config_.policy == "baseline") {
+        FLEXNET_CHECK_MSG(safe,
+                          "baseline VC management cannot support this "
+                          "routing with the configured arrangement");
+      } else if (!safe) {
+        // FlexVC: a minimal escape must fit so opportunistic routing works.
+        const HopSeq min_ref = MinimalRouting(*topo_).reference_path();
+        FLEXNET_CHECK_MSG(tmpl.embed_safe(min_ref, kInjectionPosition, cls) >= 0,
+                          "arrangement cannot even hold minimal paths");
+      }
+    }
+  }
+
+  FLEXNET_CHECK_MSG(!config_.reactive || config_.injection_vcs >= 2,
+                    "reactive traffic needs >= 2 injection VCs");
+
+  build();
+}
+
+Network::~Network() = default;
+
+int Network::num_outputs(RouterId r) const {
+  return topo_->num_network_ports(r) + topo_->concentration() * kNumMsgClasses;
+}
+
+int Network::eject_output_index(RouterId r, int node_local,
+                                MsgClass cls) const {
+  return topo_->num_network_ports(r) + node_local * kNumMsgClasses +
+         static_cast<int>(cls);
+}
+
+void Network::build() {
+  const VcTemplate& tmpl = policy_->tmpl();
+  Rng base(config_.seed);
+
+  const int num_routers = topo_->num_routers();
+  routers_.resize(static_cast<std::size_t>(num_routers));
+  link_index_.resize(static_cast<std::size_t>(num_routers));
+
+  const BufferOrg org = parse_buffer_org(config_.buffer_org);
+
+  int total_links = 0;
+  for (RouterId r = 0; r < num_routers; ++r) {
+    link_index_[static_cast<std::size_t>(r)] = total_links;
+    total_links += topo_->num_network_ports(r);
+  }
+  links_.resize(static_cast<std::size_t>(total_links));
+
+  for (RouterId r = 0; r < num_routers; ++r) {
+    RouterState& rs = routers_[static_cast<std::size_t>(r)];
+    rs.rng = base.split(static_cast<std::uint64_t>(r));
+    const int net_ports = topo_->num_network_ports(r);
+    const int inj_ports = topo_->concentration();
+
+    for (PortIndex p = 0; p < net_ports; ++p) {
+      const PortDesc& desc = topo_->port(r, p);
+      const bool global = desc.type == LinkType::kGlobal;
+      const int vcs = tmpl.vcs_per_port(desc.type);
+      const int per_vc =
+          global ? config_.global_buffer_per_vc : config_.local_buffer_per_vc;
+      const int port_cap = global ? config_.global_port_capacity
+                                  : config_.local_port_capacity;
+      const int total = port_cap > 0 ? port_cap : per_vc * vcs;
+      const BufferGeometry geom =
+          make_geometry(org, vcs, total, config_.damq_private_fraction);
+      rs.in.push_back(make_buffer(geom));
+      rs.out.emplace_back(config_.output_buffer, config_.pipeline_latency);
+      rs.ledger.emplace_back(geom.num_vcs, geom.private_per_vc, geom.shared);
+
+      DirLink& link = link_of(r, p);
+      link.to = desc.neighbor;
+      link.to_port = desc.neighbor_port;
+      link.latency = global ? config_.global_latency : config_.local_latency;
+    }
+    for (int j = 0; j < inj_ports; ++j) {
+      rs.in.push_back(std::make_unique<StaticBuffer>(
+          config_.injection_vcs, config_.injection_buffer_per_vc));
+    }
+
+    const int inputs = net_ports + inj_ports;
+    rs.in_arb.reserve(static_cast<std::size_t>(inputs));
+    rs.commits.resize(static_cast<std::size_t>(inputs));
+    for (int i = 0; i < inputs; ++i) {
+      rs.in_arb.emplace_back(rs.in[static_cast<std::size_t>(i)]->num_vcs());
+      rs.commits[static_cast<std::size_t>(i)].resize(
+          static_cast<std::size_t>(rs.in[static_cast<std::size_t>(i)]->num_vcs()));
+    }
+    rs.out_arb.assign(static_cast<std::size_t>(num_outputs(r)),
+                      RoundRobinArbiter(inputs));
+    rs.input_matched.assign(static_cast<std::size_t>(inputs), false);
+    rs.output_matched.assign(static_cast<std::size_t>(num_outputs(r)), false);
+  }
+
+  // Nodes.
+  pattern_ = make_pattern(config_.traffic, *topo_, config_.adversarial_offset);
+  nodes_.reserve(static_cast<std::size_t>(topo_->num_nodes()));
+  for (NodeId n = 0; n < topo_->num_nodes(); ++n) {
+    nodes_.push_back(std::make_unique<Node>(
+        n, config_, *pattern_, base.split(0x100000 + static_cast<std::uint64_t>(n))));
+  }
+
+  scratch_requests_.resize(64);
+}
+
+int Network::port_occupancy(RouterId r, PortIndex p, bool min_only) const {
+  const CreditLedger& ledger =
+      routers_[static_cast<std::size_t>(r)].ledger[static_cast<std::size_t>(p)];
+  return min_only ? ledger.occupied_min_port() : ledger.occupied_port();
+}
+
+int Network::vc_occupancy(RouterId r, PortIndex p, VcIndex vc,
+                          bool min_only) const {
+  const CreditLedger& ledger =
+      routers_[static_cast<std::size_t>(r)].ledger[static_cast<std::size_t>(p)];
+  return min_only ? ledger.occupied_min(vc) : ledger.occupied(vc);
+}
+
+int Network::input_occupancy(RouterId r, PortIndex p, VcIndex vc) const {
+  return routers_[static_cast<std::size_t>(r)]
+      .in[static_cast<std::size_t>(p)]
+      ->occupancy(vc);
+}
+
+void Network::debug_dump_stuck(Cycle now, Cycle min_age) const {
+  int shown = 0;
+  for (RouterId r = 0; r < topo_->num_routers() && shown < 40; ++r) {
+    const RouterState& rs = routers_[static_cast<std::size_t>(r)];
+    for (std::size_t p = 0; p < rs.in.size(); ++p) {
+      for (VcIndex vc = 0; vc < rs.in[p]->num_vcs(); ++vc) {
+        const Packet* head = rs.in[p]->front(vc);
+        if (head == nullptr || now - head->created < min_age) continue;
+        std::string trace;
+        for (int t = 0; t < head->trace_len; ++t)
+          trace += std::to_string(head->trace[static_cast<std::size_t>(t)]) + ">";
+        // Replay the routing decision for this head.
+        std::string why;
+        {
+          std::vector<RouteOption> opts;
+          Rng rng(1);
+          routing_->route(*head, r, rng, opts);
+          for (const auto& opt : opts) {
+            why += " opt[port=" + std::to_string(opt.out_port) +
+                   (opt.ejection ? "(eject)" : "") +
+                   " type=" + std::string(to_string(opt.hop_type)) +
+                   " intended=" + opt.intended_after.to_string() +
+                   " escape=" + opt.escape_after.to_string() + ":";
+            if (!opt.ejection) {
+              std::vector<VcCandidate> cands;
+              HopContext ctx;
+              ctx.cls = head->cls;
+              ctx.hop_type = opt.hop_type;
+              ctx.position = head->vc_position;
+              ctx.floors = {head->type_floors[0], head->type_floors[1]};
+              ctx.intended_after = opt.intended_after;
+              ctx.escape_after = opt.escape_after;
+              policy_->candidates(ctx, cands);
+              const auto& lg = rs.ledger[static_cast<std::size_t>(opt.out_port)];
+              const auto& ou = rs.out[static_cast<std::size_t>(opt.out_port)];
+              why += "obuf=" + std::to_string(ou.occupancy()) + "/" +
+                     std::to_string(ou.capacity());
+              for (const auto& c : cands)
+                why += " vc" + std::to_string(c.phys) +
+                       (c.safe ? "S" : "o") +
+                       "free=" + std::to_string(lg.free_for(c.phys));
+            }
+            why += "]";
+          }
+        }
+        std::fprintf(stderr,
+                     "stuck r=%d port=%zu vc=%d pos=%d cls=%d kind=%d "
+                     "valiant=%d reached=%d hops=%d age=%lld src_r=%d dst_r=%d "
+                     "pkts_in_vc=%d trace=%s\n",
+                     r, p, vc, head->vc_position,
+                     static_cast<int>(head->cls),
+                     static_cast<int>(head->route_kind), head->valiant,
+                     head->valiant_reached, head->hops,
+                     static_cast<long long>(now - head->created),
+                     topo_->router_of_node(head->src),
+                     topo_->router_of_node(head->dst), rs.in[p]->packets(vc),
+                     (trace + why).c_str());
+        if (++shown >= 40) return;
+      }
+    }
+  }
+}
+
+void Network::step(Cycle now) {
+  deliver(now);
+  routing_->update(now);
+  for (auto& node : nodes_) node->step(now, *this);
+  for (RouterId r = 0; r < topo_->num_routers(); ++r) allocate(r, now);
+  for (RouterId r = 0; r < topo_->num_routers(); ++r) send(r, now);
+}
+
+void Network::deliver(Cycle now) {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    DirLink& link = links_[i];
+    while (!link.data.empty() && link.data.front().arrive <= now) {
+      FlyingPacket& fp = link.data.front();
+      routers_[static_cast<std::size_t>(link.to)]
+          .in[static_cast<std::size_t>(link.to_port)]
+          ->push(fp.vc, fp.pkt);
+      link.data.pop_front();
+    }
+  }
+  // Credits travel on the reverse channel of each link back to its sender's
+  // ledger; the sender is recovered from the flat link index.
+  RouterId owner = 0;
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    while (owner + 1 < topo_->num_routers() &&
+           static_cast<int>(i) >=
+               link_index_[static_cast<std::size_t>(owner + 1)]) {
+      ++owner;
+    }
+    DirLink& link = links_[i];
+    const PortIndex port =
+        static_cast<PortIndex>(static_cast<int>(i) -
+                               link_index_[static_cast<std::size_t>(owner)]);
+    while (!link.credits.empty() && link.credits.front().arrive <= now) {
+      const FlyingCredit& fc = link.credits.front();
+      routers_[static_cast<std::size_t>(owner)]
+          .ledger[static_cast<std::size_t>(port)]
+          .on_credit(fc.vc, fc.phits, fc.kind);
+      link.credits.pop_front();
+    }
+  }
+}
+
+bool Network::try_inject(NodeId n, Packet& pkt, Cycle now) {
+  const RouterId r = topo_->router_of_node(n);
+  const int node_local = n % topo_->concentration();
+  const PortIndex ip = topo_->num_network_ports(r) + node_local;
+  InputBuffer& buf = *routers_[static_cast<std::size_t>(r)].in[static_cast<std::size_t>(ip)];
+  // Reactive traffic keeps the last injection VC exclusive to replies so
+  // blocked requests can never starve reply injection (protocol deadlock
+  // avoidance extends to the injection queues).
+  VcIndex lo = 0;
+  VcIndex hi = config_.injection_vcs;
+  if (config_.reactive) {
+    if (pkt.cls == MsgClass::kRequest)
+      hi = config_.injection_vcs - 1;
+    else
+      lo = config_.injection_vcs - 1;
+  }
+  VcIndex best = kInvalidVc;
+  int best_free = -1;
+  for (VcIndex v = lo; v < hi; ++v) {
+    if (!buf.can_accept(v, pkt.size)) continue;
+    const int free = buf.free_for(v);
+    if (free > best_free) {
+      best = v;
+      best_free = free;
+    }
+  }
+  if (best == kInvalidVc) return false;
+  pkt.id = next_packet_id_++;
+  pkt.injected = now;
+  pkt.vc_position = kInjectionPosition;
+  buf.push(best, pkt);
+  ++packets_in_network_;
+  return true;
+}
+
+bool Network::find_action(RouterId r, PortIndex ip, VcIndex vc, Cycle now,
+                          Request& req) {
+  RouterState& rs = routers_[static_cast<std::size_t>(r)];
+  InputBuffer& buf = *rs.in[static_cast<std::size_t>(ip)];
+  const Packet* head = buf.front(vc);
+  if (head == nullptr) return false;
+
+  Commitment& commit =
+      rs.commits[static_cast<std::size_t>(ip)][static_cast<std::size_t>(vc)];
+
+  const auto fill_request = [&](const Commitment& c, int output) {
+    req.in_port = ip;
+    req.in_vc = vc;
+    req.output = output;
+    req.option = c.option;
+    req.out_vc = c.out_vc;
+    req.out_position = c.out_position;
+  };
+
+  // Revalidate an existing commitment (one-shot VC allocation: the packet
+  // waits for the committed VC rather than hopping to whichever VC has
+  // credits this cycle).
+  if (commit.pkt == head->id) {
+    if (commit.option.ejection) {
+      const int out = eject_output_index(
+          r, head->dst % topo_->concentration(), head->cls);
+      if (rs.output_matched[static_cast<std::size_t>(out)]) return false;
+      if (!nodes_[static_cast<std::size_t>(head->dst)]->can_consume(head->cls,
+                                                                    now))
+        return false;  // consumption is the safe sink: wait
+      fill_request(commit, out);
+      return true;
+    }
+    const auto out_port = static_cast<std::size_t>(commit.option.out_port);
+    const bool feasible =
+        !rs.output_matched[out_port] &&
+        rs.out[out_port].can_reserve(head->size) &&
+        rs.ledger[out_port].can_send(commit.out_vc, head->size);
+    if (feasible) {
+      fill_request(commit, commit.option.out_port);
+      return true;
+    }
+    if (commit.safe) return false;  // wait on the safe commitment
+    commit.pkt = -1;  // opportunistic window closed: re-allocate below
+  }
+
+  // (Re)run VC allocation for the head packet.
+  scratch_options_.clear();
+  routing_->route(*head, r, rs.rng, scratch_options_);
+  for (const RouteOption& opt : scratch_options_) {
+    if (opt.ejection) {
+      const int out = eject_output_index(
+          r, head->dst % topo_->concentration(), head->cls);
+      commit.pkt = head->id;
+      commit.option = opt;
+      commit.out_vc = kInvalidVc;
+      commit.out_position = -1;
+      commit.safe = true;
+      if (rs.output_matched[static_cast<std::size_t>(out)]) return false;
+      if (!nodes_[static_cast<std::size_t>(head->dst)]->can_consume(head->cls,
+                                                                    now))
+        return false;
+      fill_request(commit, out);
+      return true;
+    }
+
+    OutputUnit& ou = rs.out[static_cast<std::size_t>(opt.out_port)];
+    CreditLedger& ledger = rs.ledger[static_cast<std::size_t>(opt.out_port)];
+
+    HopContext ctx;
+    ctx.cls = head->cls;
+    ctx.hop_type = opt.hop_type;
+    ctx.position = head->vc_position;
+    ctx.floors = {head->type_floors[0], head->type_floors[1]};
+    ctx.intended_after = opt.intended_after;
+    ctx.escape_after = opt.escape_after;
+    scratch_cands_.clear();
+    policy_->candidates(ctx, scratch_cands_);
+    if (scratch_cands_.empty()) continue;  // hop inadmissible: next option
+
+    const bool output_free =
+        !rs.output_matched[static_cast<std::size_t>(opt.out_port)] &&
+        ou.can_reserve(head->size);
+    // Prefer a candidate that can move right now.
+    if (output_free) {
+      const int sel = select_vc(
+          selection_, scratch_cands_,
+          [&ledger](VcIndex v) { return ledger.free_for(v); }, head->size,
+          rs.rng);
+      if (sel >= 0) {
+        const VcCandidate& cand = scratch_cands_[static_cast<std::size_t>(sel)];
+        commit.pkt = head->id;
+        commit.option = opt;
+        commit.out_vc = cand.phys;
+        commit.out_position = cand.position;
+        commit.safe = cand.safe;
+        fill_request(commit, opt.out_port);
+        if (cand.position > scratch_cands_.front().position)
+          ++overflow_picks_;
+        else
+          ++lowest_picks_;
+        return true;
+      }
+    }
+    // Nothing movable: commit to a safe candidate (waitable) if one exists.
+    // The *lowest* safe position is chosen — the reference-path slot whose
+    // credits return first by the template-order induction, and the choice
+    // preserving the most headroom for the remaining hops.
+    int best = -1;
+    for (std::size_t i = 0; i < scratch_cands_.size(); ++i) {
+      if (scratch_cands_[i].safe) {
+        best = static_cast<int>(i);
+        break;
+      }
+    }
+    if (best >= 0) {
+      const VcCandidate& cand = scratch_cands_[static_cast<std::size_t>(best)];
+      commit.pkt = head->id;
+      commit.option = opt;
+      commit.out_vc = cand.phys;
+      commit.out_position = cand.position;
+      commit.safe = true;
+      return false;  // wait for the committed VC's credits
+    }
+    // Only opportunistic candidates and none movable: fall through to the
+    // escape option (SIII-A: "packets revert to the corresponding safe
+    // path as an escape path").
+  }
+  return false;
+}
+
+bool Network::stage1_pick(RouterId r, PortIndex ip, Cycle now, Request& req) {
+  RouterState& rs = routers_[static_cast<std::size_t>(r)];
+  RoundRobinArbiter& arb = rs.in_arb[static_cast<std::size_t>(ip)];
+  for (int i = 0; i < arb.width(); ++i) {
+    const VcIndex vc = static_cast<VcIndex>((arb.pointer() + i) % arb.width());
+    if (find_action(r, ip, vc, now, req)) return true;
+  }
+  return false;
+}
+
+void Network::allocate(RouterId r, Cycle now) {
+  RouterState& rs = routers_[static_cast<std::size_t>(r)];
+  const int inputs = static_cast<int>(rs.in.size());
+  const int outputs = num_outputs(r);
+  if (static_cast<int>(scratch_requests_.size()) < outputs)
+    scratch_requests_.resize(static_cast<std::size_t>(outputs));
+
+  for (int pass = 0; pass < config_.speedup; ++pass) {
+    std::fill(rs.input_matched.begin(), rs.input_matched.end(), false);
+    std::fill(rs.output_matched.begin(), rs.output_matched.end(), false);
+    for (int iter = 0; iter < config_.alloc_iters; ++iter) {
+      for (int o = 0; o < outputs; ++o)
+        scratch_requests_[static_cast<std::size_t>(o)].clear();
+      bool any = false;
+      // Stage 1: every unmatched input proposes one (VC, option, output).
+      for (PortIndex ip = 0; ip < inputs; ++ip) {
+        if (rs.input_matched[static_cast<std::size_t>(ip)]) continue;
+        Request req;
+        if (stage1_pick(r, ip, now, req)) {
+          scratch_requests_[static_cast<std::size_t>(req.output)].push_back(req);
+          any = true;
+        }
+      }
+      if (!any) break;
+      // Stage 2: every requested output grants one input (round-robin).
+      for (int o = 0; o < outputs; ++o) {
+        auto& reqs = scratch_requests_[static_cast<std::size_t>(o)];
+        if (reqs.empty() || rs.output_matched[static_cast<std::size_t>(o)])
+          continue;
+        RoundRobinArbiter& arb = rs.out_arb[static_cast<std::size_t>(o)];
+        const Request* chosen = nullptr;
+        int best_rank = inputs;
+        for (const Request& req : reqs) {
+          const int rank = (req.in_port - arb.pointer() + inputs) % inputs;
+          if (rank < best_rank) {
+            best_rank = rank;
+            chosen = &req;
+          }
+        }
+        grant(r, *chosen, now);
+        rs.input_matched[static_cast<std::size_t>(chosen->in_port)] = true;
+        rs.output_matched[static_cast<std::size_t>(o)] = true;
+        rs.in_arb[static_cast<std::size_t>(chosen->in_port)].advance_past(
+            chosen->in_vc);
+        arb.advance_past(chosen->in_port);
+      }
+    }
+  }
+}
+
+void Network::grant(RouterId r, const Request& req, Cycle now) {
+  RouterState& rs = routers_[static_cast<std::size_t>(r)];
+  Packet pkt = rs.in[static_cast<std::size_t>(req.in_port)]->pop(req.in_vc);
+  last_grant_ = now;
+  ++total_grants_;
+  if (req.option.is_escape && pkt.valiant != kInvalidRouter &&
+      !pkt.valiant_reached) {
+    ++escape_grants_;
+  }
+
+  // Return the freed space upstream (network input ports only; injection
+  // buffers are observed directly by the node).
+  if (req.in_port < topo_->num_network_ports(r)) {
+    const PortDesc& desc = topo_->port(r, req.in_port);
+    DirLink& upstream = link_of(desc.neighbor, desc.neighbor_port);
+    upstream.credits.push_back(FlyingCredit{
+        req.in_vc, pkt.size, pkt.credited_kind, now + upstream.latency});
+  }
+
+  if (req.option.ejection) {
+    nodes_[static_cast<std::size_t>(pkt.dst)]->consume(pkt, now, *this);
+    --packets_in_network_;
+    return;
+  }
+
+  pkt.route_kind = req.option.kind_after;
+  pkt.credited_kind = pkt.route_kind;
+  pkt.valiant = req.option.valiant_after;
+  pkt.valiant_reached = req.option.valiant_reached_after;
+  pkt.vc_position = req.out_position;
+  {
+    const VcTemplate& tmpl = policy_->tmpl();
+    const LinkType t = tmpl.at(req.out_position).type;
+    pkt.type_floors[static_cast<int>(t)] =
+        static_cast<std::int16_t>(req.out_position);
+  }
+  ++pkt.hops;
+  pkt.record_hop(topo_->port(r, req.option.out_port).neighbor);
+  rs.ledger[static_cast<std::size_t>(req.output)].on_send(req.out_vc, pkt.size,
+                                                          pkt.route_kind);
+  rs.out[static_cast<std::size_t>(req.output)].accept(pkt, req.out_vc, now);
+}
+
+void Network::send(RouterId r, Cycle now) {
+  RouterState& rs = routers_[static_cast<std::size_t>(r)];
+  for (PortIndex p = 0; p < topo_->num_network_ports(r); ++p) {
+    OutputUnit& ou = rs.out[static_cast<std::size_t>(p)];
+    if (!ou.ready_to_send(now)) continue;
+    VcIndex vc = kInvalidVc;
+    Packet pkt = ou.start_send(now, vc);
+    DirLink& link = link_of(r, p);
+    // Virtual cut-through: the packet is eligible downstream one cycle
+    // after its head arrives; its phits keep streaming behind it.
+    link.data.push_back(FlyingPacket{pkt, vc, now + link.latency + 1});
+  }
+}
+
+}  // namespace flexnet

@@ -1,0 +1,179 @@
+// The network: routers, links, nodes, and one simulation step.
+//
+// Each router is a combined input-output buffered VCT switch (Table V):
+// per-port input buffers with VCs, an iterative input-first separable
+// allocator running `speedup` passes per link cycle, a 5-cycle pipeline in
+// front of a small output buffer, and credit-based flow control whose
+// credits travel back with the link latency.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "buffers/buffer_org.hpp"
+#include "buffers/credit_ledger.hpp"
+#include "buffers/input_buffer.hpp"
+#include "core/flexvc_policy.hpp"
+#include "core/vc_selection.hpp"
+#include "router/arbiter.hpp"
+#include "router/output_unit.hpp"
+#include "routing/routing.hpp"
+#include "sim/config.hpp"
+#include "sim/metrics.hpp"
+#include "sim/node.hpp"
+#include "traffic/traffic.hpp"
+
+namespace flexnet {
+
+class Network final : public CongestionOracle {
+ public:
+  explicit Network(const SimConfig& config);
+  ~Network() override;
+
+  /// Advances one link-clock cycle.
+  void step(Cycle now);
+
+  // CongestionOracle (sender-side credit occupancy of output ports).
+  int port_occupancy(RouterId r, PortIndex p, bool min_only) const override;
+  int vc_occupancy(RouterId r, PortIndex p, VcIndex vc,
+                   bool min_only) const override;
+
+  const Topology& topology() const { return *topo_; }
+  const SimConfig& config() const { return config_; }
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+  const VcPolicy& policy() const { return *policy_; }
+  RoutingAlgorithm& routing() { return *routing_; }
+
+  /// Packets inside routers/links (excludes node source queues): the
+  /// quantity the deadlock watchdog monitors.
+  std::int64_t packets_in_network() const { return packets_in_network_; }
+
+  /// Cycle of the most recent packet movement (grant); the deadlock
+  /// watchdog declares deadlock when this stops advancing while packets
+  /// remain in the network.
+  Cycle last_grant() const { return last_grant_; }
+
+  /// Grants that abandoned a nonminimal trajectory for the minimal escape
+  /// (opportunistic reverts, SIII-A) and total grants — diagnostic ratio.
+  std::int64_t escape_grants() const { return escape_grants_; }
+  std::int64_t total_grants() const { return total_grants_; }
+  std::int64_t overflow_picks() const { return overflow_picks_; }
+  std::int64_t lowest_picks() const { return lowest_picks_; }
+
+  /// Moves a packet from a node into its router's injection buffer; false
+  /// when every eligible injection VC is full.
+  bool try_inject(NodeId n, Packet& pkt, Cycle now);
+
+  /// Occupancy of a specific input VC of a router port (tests/inspection).
+  int input_occupancy(RouterId r, PortIndex p, VcIndex vc) const;
+
+  /// Prints every buffered head packet older than `min_age` — the stalled
+  /// traffic diagnostic used when investigating throughput anomalies.
+  void debug_dump_stuck(Cycle now, Cycle min_age) const;
+
+ private:
+  friend class Node;
+
+  struct FlyingPacket {
+    Packet pkt;
+    VcIndex vc;
+    Cycle arrive;
+  };
+  struct FlyingCredit {
+    VcIndex vc;
+    int phits;
+    RouteKind kind;
+    Cycle arrive;
+  };
+
+  /// One directed network link plus its credit backchannel.
+  struct DirLink {
+    RouterId to = kInvalidRouter;
+    PortIndex to_port = kInvalidPort;
+    int latency = 1;
+    std::deque<FlyingPacket> data;
+    std::deque<FlyingCredit> credits;  ///< toward this link's sender
+  };
+
+  /// One-shot VC allocation (the router's VC-allocation stage): the head
+  /// packet of an input VC commits to one (output port, downstream VC) and
+  /// then waits for its credits through switch allocation. A *safe*
+  /// commitment may be waited on indefinitely; an opportunistic one is
+  /// dropped and re-made the moment its credits disappear.
+  struct Commitment {
+    PacketId pkt = -1;  ///< head packet this commitment belongs to
+    RouteOption option;
+    VcIndex out_vc = kInvalidVc;
+    int out_position = -1;
+    bool safe = false;
+  };
+
+  struct RouterState {
+    // Input buffers: network ports first, then one injection port per node.
+    std::vector<std::unique_ptr<InputBuffer>> in;
+    std::vector<OutputUnit> out;        // network ports
+    std::vector<CreditLedger> ledger;   // per network output port
+    std::vector<RoundRobinArbiter> in_arb;
+    std::vector<RoundRobinArbiter> out_arb;  // network + ejection channels
+    std::vector<bool> input_matched;         // per allocation pass
+    std::vector<bool> output_matched;
+    std::vector<std::vector<Commitment>> commits;  // per input port, per VC
+    Rng rng;
+  };
+
+  /// Stage-1 result: one input port's chosen action for this iteration.
+  struct Request {
+    PortIndex in_port = kInvalidPort;
+    VcIndex in_vc = kInvalidVc;
+    int output = -1;  ///< unified output index (network port or ejection)
+    RouteOption option;
+    VcIndex out_vc = kInvalidVc;
+    int out_position = -1;
+  };
+
+  int num_outputs(RouterId r) const;  // network ports + p*2 eject channels
+  int eject_output_index(RouterId r, int node_local, MsgClass cls) const;
+
+  void build();
+  void deliver(Cycle now);
+  void allocate(RouterId r, Cycle now);
+  bool stage1_pick(RouterId r, PortIndex ip, Cycle now, Request& req);
+  bool find_action(RouterId r, PortIndex ip, VcIndex vc, Cycle now,
+                   Request& req);
+  void grant(RouterId r, const Request& req, Cycle now);
+  void send(RouterId r, Cycle now);
+
+  DirLink& link_of(RouterId r, PortIndex p) {
+    return links_[static_cast<std::size_t>(link_index_[static_cast<std::size_t>(r)] + p)];
+  }
+
+  SimConfig config_;
+  std::unique_ptr<Topology> topo_;
+  std::unique_ptr<VcPolicy> policy_;
+  std::unique_ptr<RoutingAlgorithm> routing_;
+  VcSelection selection_ = VcSelection::kJsq;
+
+  std::vector<RouterState> routers_;
+  std::vector<DirLink> links_;     // flattened (router, network port)
+  std::vector<int> link_index_;    // first link of each router
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<TrafficPattern> pattern_;
+
+  Metrics metrics_;
+  std::int64_t packets_in_network_ = 0;
+  Cycle last_grant_ = 0;
+  std::int64_t escape_grants_ = 0;
+  std::int64_t total_grants_ = 0;
+  std::int64_t overflow_picks_ = 0;
+  std::int64_t lowest_picks_ = 0;
+  PacketId next_packet_id_ = 0;
+
+  // Scratch buffers reused across calls (allocation fast path).
+  std::vector<RouteOption> scratch_options_;
+  std::vector<VcCandidate> scratch_cands_;
+  std::vector<std::vector<Request>> scratch_requests_;  // per output
+};
+
+}  // namespace flexnet

@@ -1,0 +1,96 @@
+#include "sim/node.hpp"
+
+#include "common/check.hpp"
+#include "sim/network.hpp"
+
+namespace flexnet {
+
+Node::Node(NodeId id, const SimConfig& config, const TrafficPattern& pattern,
+           Rng rng)
+    : id_(id), config_(config), pattern_(pattern), rng_(rng) {
+  // Reactive traffic offers `load` counting both requests and the replies
+  // they spawn, so requests are generated at half the configured load
+  // (SIV-B; keeps the injection channel's 1 phit/cycle budget feasible).
+  const double request_load = config_.reactive ? config_.load / 2 : config_.load;
+  if (config_.traffic == "bursty") {
+    process_ = std::make_unique<OnOffProcess>(request_load, config_.packet_size,
+                                              config_.burst_length);
+  } else {
+    process_ = std::make_unique<BernoulliProcess>(request_load,
+                                                  config_.packet_size);
+  }
+}
+
+void Node::step(Cycle now, Network& net) {
+  generate(now, net);
+  inject(now, net);
+}
+
+void Node::inject(Cycle now, Network& net) {
+  // The injection channel carries one phit per cycle: at most one packet
+  // per packet_size cycles enters the router.
+  if (inject_busy_until_ > now) return;
+  // Replies first: they unblock request consumption at remote nodes.
+  for (int c : {static_cast<int>(MsgClass::kReply),
+                static_cast<int>(MsgClass::kRequest)}) {
+    auto& queue = source_[c];
+    if (queue.empty()) continue;
+    if (queue.front().created > now) continue;  // reply not materialized yet
+    if (net.try_inject(id_, queue.front(), now)) {
+      queue.pop_front();
+      inject_busy_until_ = now + config_.packet_size;
+      return;
+    }
+  }
+}
+
+void Node::generate(Cycle now, Network& net) {
+  if (!process_->step(rng_)) return;
+  if (process_->new_burst() || burst_destination_ == kInvalidNode ||
+      config_.traffic != "bursty") {
+    burst_destination_ = pattern_.destination(id_, rng_);
+  }
+  Packet pkt;
+  pkt.src = id_;
+  pkt.dst = burst_destination_;
+  pkt.size = config_.packet_size;
+  pkt.cls = MsgClass::kRequest;
+  pkt.created = now;
+  pkt.vc_position = kInjectionPosition;
+  source_[static_cast<int>(MsgClass::kRequest)].push_back(pkt);
+  net.metrics().on_generated(pkt.size);
+}
+
+bool Node::can_consume(MsgClass cls, Cycle now) const {
+  if (consume_busy_until_[static_cast<int>(cls)] > now) return false;
+  if (cls == MsgClass::kRequest && config_.reactive) {
+    // A request can only be consumed when the reply it triggers has room in
+    // the reply source queue (protocol dependency).
+    return source_backlog(MsgClass::kReply) <
+           config_.reply_queue_capacity;
+  }
+  return true;
+}
+
+Cycle Node::consume(const Packet& pkt, Cycle now, Network& net) {
+  FLEXNET_DCHECK(can_consume(pkt.cls, now));
+  // The consumption channel moves one phit per cycle; the router pipeline
+  // adds latency but overlaps with the next packet's transfer.
+  const Cycle completion = now + config_.pipeline_latency + pkt.size;
+  consume_busy_until_[static_cast<int>(pkt.cls)] = now + pkt.size;
+  net.metrics().on_consumed(pkt, completion);
+  if (config_.reactive && pkt.cls == MsgClass::kRequest) {
+    Packet reply;
+    reply.src = id_;
+    reply.dst = pkt.src;
+    reply.size = config_.packet_size;
+    reply.cls = MsgClass::kReply;
+    reply.created = completion;
+    reply.vc_position = kInjectionPosition;
+    source_[static_cast<int>(MsgClass::kReply)].push_back(reply);
+    net.metrics().on_generated(reply.size);
+  }
+  return completion;
+}
+
+}  // namespace flexnet

@@ -1,0 +1,60 @@
+// Computing-node model: traffic generation, bounded-bandwidth injection,
+// separate request/reply consumption ports, and reply generation for
+// reactive (request-reply) traffic.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "buffers/packet.hpp"
+#include "common/rng.hpp"
+#include "sim/config.hpp"
+#include "traffic/traffic.hpp"
+
+namespace flexnet {
+
+class Network;
+
+class Node {
+ public:
+  Node(NodeId id, const SimConfig& config, const TrafficPattern& pattern,
+       Rng rng);
+
+  /// Generates traffic for this cycle and moves source-queue heads into the
+  /// router's injection buffers (at most one packet per packet_size cycles:
+  /// the injection channel is one phit per cycle).
+  void step(Cycle now, Network& net);
+
+  /// Whether the consumption port of the class can take a packet now. For
+  /// requests under reactive traffic this also requires room in the reply
+  /// source queue: the protocol dependency that makes request-reply
+  /// deadlock possible when VCs are misconfigured.
+  bool can_consume(MsgClass cls, Cycle now) const;
+
+  /// Accepts a packet at the consumption port (called on an ejection
+  /// grant); returns the completion cycle of the transfer.
+  Cycle consume(const Packet& pkt, Cycle now, Network& net);
+
+  NodeId id() const { return id_; }
+  std::int64_t source_backlog(MsgClass cls) const {
+    return static_cast<std::int64_t>(
+        source_[static_cast<int>(cls)].size());
+  }
+
+ private:
+  void generate(Cycle now, Network& net);
+  void inject(Cycle now, Network& net);
+
+  NodeId id_;
+  const SimConfig& config_;
+  const TrafficPattern& pattern_;
+  Rng rng_;
+  std::unique_ptr<InjectionProcess> process_;
+
+  std::deque<Packet> source_[kNumMsgClasses];
+  NodeId burst_destination_ = kInvalidNode;
+  Cycle inject_busy_until_ = 0;
+  Cycle consume_busy_until_[kNumMsgClasses] = {0, 0};
+};
+
+}  // namespace flexnet

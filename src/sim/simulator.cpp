@@ -1,0 +1,73 @@
+#include "sim/simulator.hpp"
+
+#include "common/log.hpp"
+
+namespace flexnet {
+
+SimResult Simulator::run() {
+  network_ = std::make_unique<Network>(config_);
+  Network& net = *network_;
+  const int nodes = net.topology().num_nodes();
+
+  SimResult result;
+  Cycle now = 0;
+  const auto deadlocked = [&]() {
+    return net.packets_in_network() > 0 &&
+           now - net.last_grant() > config_.watchdog;
+  };
+
+  for (; now < config_.warmup; ++now) {
+    net.step(now);
+    if (deadlocked()) {
+      result.deadlock = true;
+      result.cycles = now;
+      return result;
+    }
+  }
+  net.metrics().begin_window(now);
+  const Cycle end = config_.warmup + config_.measure;
+  for (; now < end; ++now) {
+    net.step(now);
+    if (deadlocked()) {
+      result.deadlock = true;
+      result.cycles = now;
+      return result;
+    }
+  }
+  net.metrics().end_window(now);
+
+  const Metrics& m = net.metrics();
+  result.offered = m.offered_load(nodes);
+  result.accepted = m.accepted_load(nodes);
+  result.avg_latency = m.latency().mean();
+  result.avg_hops = m.hops().mean();
+  result.request_latency = m.latency_of(MsgClass::kRequest).mean();
+  result.reply_latency = m.latency_of(MsgClass::kReply).mean();
+  result.consumed_packets = m.consumed_packets();
+  result.cycles = now;
+  return result;
+}
+
+SimResult run_averaged(const SimConfig& config, int seeds) {
+  SimResult avg;
+  for (int s = 0; s < seeds; ++s) {
+    SimConfig cfg = config;
+    cfg.seed = config.seed + static_cast<std::uint64_t>(s);
+    SimResult r = Simulator(cfg).run();
+    if (r.deadlock) {
+      avg.deadlock = true;
+      return avg;
+    }
+    avg.offered += r.offered / seeds;
+    avg.accepted += r.accepted / seeds;
+    avg.avg_latency += r.avg_latency / seeds;
+    avg.avg_hops += r.avg_hops / seeds;
+    avg.request_latency += r.request_latency / seeds;
+    avg.reply_latency += r.reply_latency / seeds;
+    avg.consumed_packets += r.consumed_packets;
+    avg.cycles += r.cycles;
+  }
+  return avg;
+}
+
+}  // namespace flexnet

@@ -1,0 +1,45 @@
+// Simulation driver: warm-up, steady-state measurement window, deadlock
+// watchdog, multi-seed averaging.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace flexnet {
+
+struct SimResult {
+  double offered = 0.0;   ///< measured offered load, phits/node/cycle
+  double accepted = 0.0;  ///< accepted (delivered) load, phits/node/cycle
+  double avg_latency = 0.0;  ///< cycles, generation to delivery
+  double avg_hops = 0.0;
+  double request_latency = 0.0;  ///< request-class average (reactive runs)
+  double reply_latency = 0.0;
+  std::int64_t consumed_packets = 0;
+  bool deadlock = false;
+  Cycle cycles = 0;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const SimConfig& config) : config_(config) {}
+
+  /// Runs warmup + measurement; returns steady-state results. A run is
+  /// declared deadlocked (result.deadlock) when no packet moves for
+  /// config.watchdog cycles while packets sit in the network.
+  SimResult run();
+
+  /// Access to the network after run() for inspection in tests.
+  Network* network() { return network_.get(); }
+
+ private:
+  SimConfig config_;
+  std::unique_ptr<Network> network_;
+};
+
+/// Averages `seeds` independent runs (seeds seed, seed+1, ...); a deadlock
+/// in any run marks the average deadlocked.
+SimResult run_averaged(const SimConfig& config, int seeds);
+
+}  // namespace flexnet

@@ -1,0 +1,75 @@
+#include "topology/flattened_butterfly.hpp"
+
+#include "common/check.hpp"
+
+namespace flexnet {
+
+FlattenedButterfly::FlattenedButterfly(const FlattenedButterflyParams& params)
+    : Topology(params.p), params_(params) {
+  FLEXNET_CHECK_MSG(params_.p >= 1 && params_.a >= 2,
+                    "flattened butterfly needs p>=1, a>=2");
+  const int a = params_.a;
+  resize_routers(params_.num_routers(), 2 * (a - 1));
+  for (int row = 0; row < a; ++row) {
+    for (int col = 0; col < a; ++col) {
+      const RouterId r = router_id(row, col);
+      for (int c2 = 0; c2 < a; ++c2) {
+        if (c2 == col) continue;
+        set_port(r, row_port_to(r, router_id(row, c2)),
+                 PortDesc{LinkType::kLocal, router_id(row, c2),
+                          row_port_to(router_id(row, c2), r)});
+      }
+      for (int r2 = 0; r2 < a; ++r2) {
+        if (r2 == row) continue;
+        set_port(r, col_port_to(r, router_id(r2, col)),
+                 PortDesc{LinkType::kLocal, router_id(r2, col),
+                          col_port_to(router_id(r2, col), r)});
+      }
+    }
+  }
+  validate_wiring();
+}
+
+std::string FlattenedButterfly::name() const {
+  return "flattened_butterfly(p=" + std::to_string(params_.p) +
+         ",a=" + std::to_string(params_.a) + ")";
+}
+
+PortIndex FlattenedButterfly::row_port_to(RouterId from, RouterId to) const {
+  FLEXNET_DCHECK(row_of(from) == row_of(to) && from != to);
+  const int c1 = col_of(from);
+  const int c2 = col_of(to);
+  return c2 < c1 ? c2 : c2 - 1;
+}
+
+PortIndex FlattenedButterfly::col_port_to(RouterId from, RouterId to) const {
+  FLEXNET_DCHECK(col_of(from) == col_of(to) && from != to);
+  const int r1 = row_of(from);
+  const int r2 = row_of(to);
+  return params_.a - 1 + (r2 < r1 ? r2 : r2 - 1);
+}
+
+PortIndex FlattenedButterfly::min_next_port(RouterId from, RouterId to,
+                                            Rng* rng) const {
+  FLEXNET_DCHECK(from != to);
+  const bool same_row = row_of(from) == row_of(to);
+  const bool same_col = col_of(from) == col_of(to);
+  if (same_row) return row_port_to(from, to);
+  if (same_col) return col_port_to(from, to);
+  // Both dimensions differ: either order is minimal; break the tie randomly
+  // to exercise the untyped "any order" semantics of a generic diameter-2
+  // network (deadlock freedom comes from distance-based VCs, not DOR).
+  const bool row_first = rng == nullptr || rng->next_bernoulli(0.5);
+  if (row_first) return row_port_to(from, router_id(row_of(from), col_of(to)));
+  return col_port_to(from, router_id(row_of(to), col_of(from)));
+}
+
+HopSeq FlattenedButterfly::min_hop_types(RouterId from, RouterId to) const {
+  HopSeq seq;
+  if (from == to) return seq;
+  if (row_of(from) != row_of(to)) seq.push_back(LinkType::kLocal);
+  if (col_of(from) != col_of(to)) seq.push_back(LinkType::kLocal);
+  return seq;
+}
+
+}  // namespace flexnet

@@ -1,0 +1,54 @@
+// 2D Flattened Butterfly (Kim et al., ISCA 2007) in its adaptive (untyped)
+// mode — the paper's "generic diameter-2 network" stand-in together with
+// Slim Fly (SIII-A, Fig 3).
+//
+// Routers form an a x a grid, each fully connected to the other a-1 routers
+// of its row and of its column. Minimal paths have at most 2 hops; when both
+// the row and column hop remain, either order is minimal, so with
+// distance-based (untyped) deadlock avoidance the network behaves as a
+// generic diameter-2 topology.
+#pragma once
+
+#include "topology/topology.hpp"
+
+namespace flexnet {
+
+struct FlattenedButterflyParams {
+  int p = 2;  ///< nodes per router
+  int a = 4;  ///< routers per dimension (a x a grid)
+
+  int num_routers() const { return a * a; }
+  int num_nodes() const { return num_routers() * p; }
+};
+
+class FlattenedButterfly final : public Topology {
+ public:
+  explicit FlattenedButterfly(const FlattenedButterflyParams& params);
+
+  std::string name() const override;
+  bool typed() const override { return false; }
+  int diameter() const override { return 2; }
+
+  const FlattenedButterflyParams& params() const { return params_; }
+
+  int row_of(RouterId r) const { return r / params_.a; }
+  int col_of(RouterId r) const { return r % params_.a; }
+  RouterId router_id(int row, int col) const { return row * params_.a + col; }
+
+  /// Rows act as groups for the adversarial traffic pattern.
+  GroupId group_of(RouterId r) const override { return row_of(r); }
+  int num_groups() const override { return params_.a; }
+
+  PortIndex min_next_port(RouterId from, RouterId to,
+                          Rng* rng = nullptr) const override;
+  HopSeq min_hop_types(RouterId from, RouterId to) const override;
+
+ private:
+  /// Ports [0, a-1): same-row neighbors; [a-1, 2(a-1)): same-column.
+  PortIndex row_port_to(RouterId from, RouterId to) const;
+  PortIndex col_port_to(RouterId from, RouterId to) const;
+
+  FlattenedButterflyParams params_;
+};
+
+}  // namespace flexnet

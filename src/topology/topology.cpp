@@ -1,0 +1,43 @@
+#include "topology/topology.hpp"
+
+#include <deque>
+
+#include "common/check.hpp"
+
+namespace flexnet {
+
+void Topology::validate_wiring() const {
+  for (RouterId r = 0; r < num_routers(); ++r) {
+    for (PortIndex p = 0; p < num_network_ports(r); ++p) {
+      const PortDesc& desc = port(r, p);
+      FLEXNET_CHECK_MSG(desc.neighbor != kInvalidRouter, "unconnected port");
+      FLEXNET_CHECK(desc.neighbor >= 0 && desc.neighbor < num_routers());
+      const PortDesc& back = port(desc.neighbor, desc.neighbor_port);
+      FLEXNET_CHECK_MSG(back.neighbor == r && back.neighbor_port == p,
+                        "wiring is not a symmetric involution");
+      FLEXNET_CHECK_MSG(back.type == desc.type,
+                        "link type mismatch across a link");
+      FLEXNET_CHECK_MSG(desc.neighbor != r, "self-loop link");
+    }
+  }
+}
+
+std::vector<int> bfs_distances(const Topology& topo, RouterId from) {
+  std::vector<int> dist(static_cast<std::size_t>(topo.num_routers()), -1);
+  std::deque<RouterId> frontier{from};
+  dist[static_cast<std::size_t>(from)] = 0;
+  while (!frontier.empty()) {
+    const RouterId r = frontier.front();
+    frontier.pop_front();
+    for (PortIndex p = 0; p < topo.num_network_ports(r); ++p) {
+      const RouterId n = topo.port(r, p).neighbor;
+      if (dist[static_cast<std::size_t>(n)] < 0) {
+        dist[static_cast<std::size_t>(n)] = dist[static_cast<std::size_t>(r)] + 1;
+        frontier.push_back(n);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace flexnet

@@ -1,0 +1,110 @@
+// Topology interface: static wiring and minimal-path structure of a
+// direct low-diameter network.
+//
+// A topology describes only the network ports of each router (injection and
+// ejection are owned by the node/network layer). Routing algorithms consume
+// the minimal next-hop and hop-type-sequence queries; the FlexVC policy uses
+// the hop-type sequences as intended/escape paths.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/hop_seq.hpp"
+
+namespace flexnet {
+
+/// One network port of a router.
+struct PortDesc {
+  LinkType type = LinkType::kLocal;
+  RouterId neighbor = kInvalidRouter;
+  PortIndex neighbor_port = kInvalidPort;
+};
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  virtual std::string name() const = 0;
+
+  int num_routers() const { return static_cast<int>(ports_.size()); }
+  int num_nodes() const { return num_routers() * concentration_; }
+
+  /// Computing nodes attached per router (the paper's p).
+  int concentration() const { return concentration_; }
+
+  RouterId router_of_node(NodeId n) const { return n / concentration_; }
+  NodeId first_node_of_router(RouterId r) const { return r * concentration_; }
+
+  int num_network_ports(RouterId r) const {
+    return static_cast<int>(ports_[static_cast<std::size_t>(r)].size());
+  }
+
+  const PortDesc& port(RouterId r, PortIndex p) const {
+    return ports_[static_cast<std::size_t>(r)][static_cast<std::size_t>(p)];
+  }
+
+  /// True when the network has topology-induced link-type restrictions
+  /// (Dragonfly local/global); untyped networks report every link as local.
+  virtual bool typed() const = 0;
+
+  virtual int diameter() const = 0;
+
+  /// Group of a router — the unit the adversarial traffic pattern shifts by
+  /// one (Dragonfly groups; for ungrouped networks each router is its own
+  /// group).
+  virtual GroupId group_of(RouterId r) const { return r; }
+  virtual int num_groups() const { return num_routers(); }
+
+  /// Port of the first hop of a minimal route from `from` to `to`.
+  /// Topologies with equal-length minimal alternatives (e.g. dimension order
+  /// in a Flattened Butterfly) break ties with `rng` when provided.
+  virtual PortIndex min_next_port(RouterId from, RouterId to,
+                                  Rng* rng = nullptr) const = 0;
+
+  /// Link-type sequence of a minimal route from `from` to `to` (worst case
+  /// over tie-breaks; all minimal alternatives have the same type counts in
+  /// the supported topologies). Empty when from == to.
+  virtual HopSeq min_hop_types(RouterId from, RouterId to) const = 0;
+
+  /// Minimal distance in hops.
+  int min_distance(RouterId from, RouterId to) const {
+    return min_hop_types(from, to).size();
+  }
+
+  RouterId random_router(Rng& rng) const {
+    return static_cast<RouterId>(
+        rng.next_below(static_cast<std::uint64_t>(num_routers())));
+  }
+
+ protected:
+  explicit Topology(int concentration) : concentration_(concentration) {}
+
+  /// Subclasses fill the wiring via add_router/connect.
+  void resize_routers(int n, int ports_per_router) {
+    ports_.assign(static_cast<std::size_t>(n),
+                  std::vector<PortDesc>(static_cast<std::size_t>(ports_per_router)));
+  }
+
+  void set_port(RouterId r, PortIndex p, const PortDesc& desc) {
+    ports_[static_cast<std::size_t>(r)][static_cast<std::size_t>(p)] = desc;
+  }
+
+  /// Verifies that the wiring is a symmetric involution: every port connects
+  /// to a port that connects back, with matching link types. Aborts on
+  /// inconsistency (a wiring bug would silently corrupt every experiment).
+  void validate_wiring() const;
+
+ private:
+  int concentration_;
+  std::vector<std::vector<PortDesc>> ports_;
+};
+
+/// BFS hop distances from `from` to every router — the reference oracle the
+/// tests compare minimal routing against.
+std::vector<int> bfs_distances(const Topology& topo, RouterId from);
+
+}  // namespace flexnet

@@ -1,0 +1,222 @@
+// Unit and property tests for buffer organizations and credit accounting.
+#include <gtest/gtest.h>
+
+#include "buffers/buffer_org.hpp"
+#include "buffers/credit_ledger.hpp"
+#include "buffers/input_buffer.hpp"
+#include "common/rng.hpp"
+
+namespace flexnet {
+namespace {
+
+Packet make_packet(PacketId id, int size = 8,
+                   RouteKind kind = RouteKind::kMinimal) {
+  Packet p;
+  p.id = id;
+  p.size = size;
+  p.route_kind = kind;
+  return p;
+}
+
+// --- StaticBuffer.
+
+TEST(StaticBuffer, FifoOrderPerVc) {
+  StaticBuffer buf(2, 32);
+  buf.push(0, make_packet(1));
+  buf.push(1, make_packet(2));
+  buf.push(0, make_packet(3));
+  EXPECT_EQ(buf.front(0)->id, 1);
+  EXPECT_EQ(buf.pop(0).id, 1);
+  EXPECT_EQ(buf.pop(0).id, 3);
+  EXPECT_EQ(buf.pop(1).id, 2);
+  EXPECT_TRUE(buf.empty(0));
+  EXPECT_EQ(buf.front(0), nullptr);
+}
+
+TEST(StaticBuffer, CapacityIsPerVc) {
+  StaticBuffer buf(2, 16);
+  EXPECT_TRUE(buf.can_accept(0, 16));
+  EXPECT_FALSE(buf.can_accept(0, 17));
+  buf.push(0, make_packet(1, 16));
+  EXPECT_FALSE(buf.can_accept(0, 1));
+  EXPECT_TRUE(buf.can_accept(1, 16));  // other VC unaffected
+  EXPECT_EQ(buf.free_for(0), 0);
+  EXPECT_EQ(buf.free_for(1), 16);
+  EXPECT_EQ(buf.total_capacity(), 32);
+}
+
+TEST(StaticBuffer, OccupancyTracksPhits) {
+  StaticBuffer buf(2, 32);
+  buf.push(0, make_packet(1, 8));
+  buf.push(0, make_packet(2, 8));
+  buf.push(1, make_packet(3, 8));
+  EXPECT_EQ(buf.occupancy(0), 16);
+  EXPECT_EQ(buf.occupancy(1), 8);
+  EXPECT_EQ(buf.occupancy(), 24);
+  EXPECT_EQ(buf.packets(0), 2);
+  buf.pop(0);
+  EXPECT_EQ(buf.occupancy(0), 8);
+  EXPECT_EQ(buf.occupancy(), 16);
+}
+
+// --- DamqBuffer.
+
+TEST(DamqBuffer, SharedPoolExtendsPrivate) {
+  DamqBuffer buf(2, 8, 16);  // 8 private per VC + 16 shared = 32 total
+  EXPECT_EQ(buf.total_capacity(), 32);
+  EXPECT_EQ(buf.free_for(0), 24);  // own private + whole shared pool
+  buf.push(0, make_packet(1, 8));   // fills private
+  EXPECT_EQ(buf.shared_used(), 0);
+  buf.push(0, make_packet(2, 8));  // spills into shared
+  EXPECT_EQ(buf.shared_used(), 8);
+  EXPECT_EQ(buf.free_for(0), 8);
+  EXPECT_EQ(buf.free_for(1), 16);  // private 8 + shared remainder 8
+}
+
+TEST(DamqBuffer, PrivateSpaceAlwaysAvailableToOwner) {
+  // One VC monopolizing the shared pool must not take another VC's private
+  // reservation — the property that makes >0% reservation deadlock-free.
+  DamqBuffer buf(2, 8, 16);
+  buf.push(0, make_packet(1, 8));
+  buf.push(0, make_packet(2, 8));
+  buf.push(0, make_packet(3, 8));  // occupancy 24 = private 8 + shared 16
+  EXPECT_EQ(buf.shared_used(), 16);
+  EXPECT_FALSE(buf.can_accept(0, 8));
+  EXPECT_TRUE(buf.can_accept(1, 8));  // private reservation survives
+  EXPECT_EQ(buf.free_for(1), 8);
+}
+
+TEST(DamqBuffer, ZeroPrivateAllowsMonopoly) {
+  // With no reservation a single VC can take the whole memory — the paper's
+  // Fig 10 deadlock case.
+  DamqBuffer buf(2, 0, 32);
+  for (int i = 0; i < 4; ++i) buf.push(0, make_packet(i, 8));
+  EXPECT_EQ(buf.occupancy(0), 32);
+  EXPECT_FALSE(buf.can_accept(1, 8));
+  EXPECT_EQ(buf.free_for(1), 0);
+}
+
+TEST(DamqBuffer, DrainReleasesSharedFirstConsistently) {
+  DamqBuffer buf(2, 8, 16);
+  buf.push(0, make_packet(1, 8));
+  buf.push(0, make_packet(2, 8));
+  buf.pop(0);
+  // Occupancy 8 == private: shared fully released.
+  EXPECT_EQ(buf.shared_used(), 0);
+  EXPECT_EQ(buf.free_for(1), 24);
+}
+
+// --- Geometry factory.
+
+TEST(BufferOrg, StaticSplitsEvenly) {
+  const auto g = make_geometry(BufferOrg::kStatic, 4, 128);
+  EXPECT_EQ(g.num_vcs, 4);
+  EXPECT_EQ(g.private_per_vc, 32);
+  EXPECT_EQ(g.shared, 0);
+  EXPECT_EQ(g.total(), 128);
+}
+
+TEST(BufferOrg, DamqPaperSplit) {
+  // Table V: 25% shared, 75% private per VC.
+  const auto g = make_geometry(BufferOrg::kDamq, 2, 128, 0.75);
+  EXPECT_EQ(g.private_per_vc, 48);
+  EXPECT_EQ(g.shared, 32);
+  EXPECT_EQ(g.total(), 128);
+}
+
+TEST(BufferOrg, DamqFullPrivateEqualsStatic) {
+  const auto g = make_geometry(BufferOrg::kDamq, 2, 128, 1.0);
+  EXPECT_EQ(g.private_per_vc, 64);
+  EXPECT_EQ(g.shared, 0);
+  // The factory then builds a StaticBuffer (shared == 0).
+  auto buf = make_buffer(g);
+  EXPECT_NE(dynamic_cast<StaticBuffer*>(buf.get()), nullptr);
+}
+
+TEST(BufferOrg, FactoryBuildsDamqWhenShared) {
+  auto buf = make_buffer(make_geometry(BufferOrg::kDamq, 2, 128, 0.75));
+  EXPECT_NE(dynamic_cast<DamqBuffer*>(buf.get()), nullptr);
+  EXPECT_EQ(buf->total_capacity(), 128);
+}
+
+TEST(BufferOrg, ParseRoundTrips) {
+  EXPECT_EQ(parse_buffer_org("static"), BufferOrg::kStatic);
+  EXPECT_EQ(parse_buffer_org("damq"), BufferOrg::kDamq);
+  EXPECT_THROW(parse_buffer_org("elastic"), std::invalid_argument);
+}
+
+// --- CreditLedger mirrors the receiver.
+
+TEST(CreditLedger, StaticGeometryBasics) {
+  CreditLedger ledger(2, 32, 0);
+  EXPECT_EQ(ledger.free_for(0), 32);
+  EXPECT_TRUE(ledger.can_send(0, 32));
+  EXPECT_FALSE(ledger.can_send(0, 33));
+  ledger.on_send(0, 8, RouteKind::kMinimal);
+  EXPECT_EQ(ledger.free_for(0), 24);
+  EXPECT_EQ(ledger.occupied(0), 8);
+  EXPECT_EQ(ledger.occupied_port(), 8);
+  ledger.on_credit(0, 8, RouteKind::kMinimal);
+  EXPECT_EQ(ledger.free_for(0), 32);
+  EXPECT_EQ(ledger.occupied_port(), 0);
+}
+
+TEST(CreditLedger, MinCredSeparatesRouteKinds) {
+  CreditLedger ledger(2, 32, 0);
+  ledger.on_send(0, 8, RouteKind::kMinimal);
+  ledger.on_send(0, 8, RouteKind::kNonminimal);
+  ledger.on_send(1, 8, RouteKind::kNonminimal);
+  EXPECT_EQ(ledger.occupied(0), 16);
+  EXPECT_EQ(ledger.occupied_min(0), 8);
+  EXPECT_EQ(ledger.occupied_min(1), 0);
+  EXPECT_EQ(ledger.occupied_port(), 24);
+  EXPECT_EQ(ledger.occupied_min_port(), 8);
+  ledger.on_credit(0, 8, RouteKind::kMinimal);
+  EXPECT_EQ(ledger.occupied_min(0), 0);
+  EXPECT_EQ(ledger.occupied(0), 8);
+}
+
+TEST(CreditLedger, MirrorsDamqBufferExactly) {
+  // Property: after any feasible sequence of sends/credits, the ledger's
+  // free_for equals the downstream DAMQ's free_for.
+  Rng rng(21);
+  DamqBuffer buf(3, 8, 24);
+  CreditLedger ledger(3, 8, 24);
+  std::vector<Packet> in_flight;
+  PacketId next_id = 0;
+  for (int step = 0; step < 2000; ++step) {
+    const VcIndex vc = static_cast<VcIndex>(rng.next_below(3));
+    if (rng.next_bernoulli(0.6)) {
+      const Packet pkt = make_packet(
+          next_id++, 4 + static_cast<int>(rng.next_below(3)) * 4,
+          rng.next_bernoulli(0.5) ? RouteKind::kMinimal
+                                  : RouteKind::kNonminimal);
+      if (ledger.can_send(vc, pkt.size)) {
+        EXPECT_TRUE(buf.can_accept(vc, pkt.size)) << "ledger overpromised";
+        ledger.on_send(vc, pkt.size, pkt.route_kind);
+        buf.push(vc, pkt);
+      }
+    } else if (!buf.empty(vc)) {
+      const Packet pkt = buf.pop(vc);
+      ledger.on_credit(vc, pkt.size, pkt.route_kind);
+    }
+    for (VcIndex v = 0; v < 3; ++v) {
+      ASSERT_EQ(ledger.free_for(v), buf.free_for(v)) << "step " << step;
+      ASSERT_EQ(ledger.occupied(v), buf.occupancy(v));
+    }
+    ASSERT_EQ(ledger.occupied_port(), buf.occupancy());
+  }
+}
+
+TEST(CreditLedger, ConservationInvariant) {
+  // occupied + free == capacity for the port under static geometry.
+  CreditLedger ledger(2, 16, 0);
+  ledger.on_send(0, 8, RouteKind::kMinimal);
+  ledger.on_send(1, 16, RouteKind::kNonminimal);
+  int free_total = 0;
+  for (VcIndex v = 0; v < 2; ++v) free_total += ledger.free_for(v);
+  EXPECT_EQ(ledger.occupied_port() + free_total, ledger.capacity_port());
+}
+
+}  // namespace
+}  // namespace flexnet

@@ -1,0 +1,192 @@
+// Property sweeps over the FlexVC candidate generator: for every VC
+// arrangement x hop situation, the structural invariants of SIII must hold.
+// Parameterized (TEST_P) across the arrangements the paper evaluates.
+#include <gtest/gtest.h>
+
+#include "core/baseline_policy.hpp"
+#include "core/flexvc_policy.hpp"
+
+namespace flexnet {
+namespace {
+
+constexpr LinkType kL = LinkType::kLocal;
+constexpr LinkType kG = LinkType::kGlobal;
+
+/// All hop situations enumerated by the sweep: every (floors, position)
+/// state a packet can be in, against every remaining-path shape that occurs
+/// in Dragonfly MIN/VAL/PAR routing.
+struct Situation {
+  HopContext ctx;
+  std::string tag;
+};
+
+std::vector<Situation> situations(const VcTemplate& tmpl, MsgClass cls) {
+  // Remaining (intended, escape) pairs after a prospective hop, drawn from
+  // the canonical Dragonfly path structures.
+  struct Shape {
+    LinkType hop;
+    HopSeq intended;
+    HopSeq escape;
+  };
+  const std::vector<Shape> shapes = {
+      {kL, {kG, kL}, {kG, kL}},                       // MIN first hop
+      {kG, {kL}, {kL}},                               // MIN global hop
+      {kL, {}, {}},                                   // final hop
+      {kL, {kG, kL, kL, kG, kL}, {kG, kL}},           // VAL first hop
+      {kG, {kL, kL, kG, kL}, {kL, kG, kL}},           // VAL 1st global
+      {kL, {kL, kG, kL}, {kL, kG, kL}},               // entering VR group
+      {kL, {kG, kL}, {kG, kL}},                       // VR -> exit router
+      {kG, {kL}, {kL}},                               // VAL 2nd global
+      {kL, {kL, kG, kL, kL, kG, kL}, {kG, kL}},       // PAR pre-misroute
+  };
+  std::vector<Situation> out;
+  for (const Shape& shape : shapes) {
+    // Position/floor states: injection, plus every buffer position with
+    // floors consistent with having arrived there.
+    for (int pos = -1; pos < tmpl.num_positions(); ++pos) {
+      Situation s;
+      s.ctx.cls = cls;
+      s.ctx.hop_type = shape.hop;
+      s.ctx.position = pos;
+      s.ctx.floors = VcTemplate::no_floors();
+      if (pos >= 0) {
+        if (cls == MsgClass::kRequest &&
+            tmpl.at(pos).cls == MsgClass::kReply)
+          continue;  // a request never sits in a reply VC
+        tmpl.floor_of(s.ctx.floors, tmpl.at(pos).type) = pos;
+      }
+      s.ctx.intended_after = shape.intended;
+      s.ctx.escape_after = shape.escape;
+      s.tag = "hop=" + std::string(to_string(shape.hop)) +
+              " pos=" + std::to_string(pos) +
+              " intended=" + shape.intended.to_string();
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+class PolicyProperties : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PolicyProperties, CandidateInvariants) {
+  const VcArrangement arr = VcArrangement::parse(GetParam());
+  const FlexVcPolicy flex(arr);
+  const BaselinePolicy base(arr);
+  const VcTemplate& tmpl = flex.tmpl();
+
+  for (int c = 0; c < (arr.has_reply() ? 2 : 1); ++c) {
+    const auto cls = static_cast<MsgClass>(c);
+    for (const Situation& s : situations(tmpl, cls)) {
+      std::vector<VcCandidate> cands;
+      flex.candidates(s.ctx, cands);
+
+      const int type_floor = tmpl.floor_of(s.ctx.floors, s.ctx.hop_type);
+      for (std::size_t i = 0; i < cands.size(); ++i) {
+        const VcCandidate& cand = cands[i];
+        // (1) Ascending template positions, correct link type, class rule.
+        if (i > 0) EXPECT_LT(cands[i - 1].position, cand.position) << s.tag;
+        const VcRef& vc = tmpl.at(cand.position);
+        EXPECT_EQ(vc.type, arr.typed ? s.ctx.hop_type : kL) << s.tag;
+        if (cls == MsgClass::kRequest)
+          EXPECT_EQ(static_cast<int>(vc.cls),
+                    static_cast<int>(MsgClass::kRequest))
+              << s.tag;
+        // (2) Per-type floor respected.
+        EXPECT_GE(cand.position, type_floor) << s.tag;
+        // (3) Escape invariant: the minimal continuation embeds safely from
+        // every candidate — the packet can never strand.
+        VcTemplate::TypeFloors next = s.ctx.floors;
+        tmpl.floor_of(next, s.ctx.hop_type) = cand.position;
+        EXPECT_TRUE(
+            tmpl.embed_path(s.ctx.escape_after, next, cand.position, cls))
+            << s.tag;
+        // (4) Safe candidates strictly climb the template and keep the
+        // intended path viable within the own segment.
+        if (cand.safe) {
+          EXPECT_GT(cand.position, s.ctx.position) << s.tag;
+          EXPECT_GT(cand.position, type_floor) << s.tag;
+          EXPECT_TRUE(tmpl.embed_path(s.ctx.intended_after, next,
+                                      cand.position, cls))
+              << s.tag;
+          EXPECT_EQ(static_cast<int>(tmpl.at(cand.position).cls),
+                    static_cast<int>(cls))
+              << s.tag;
+        }
+      }
+
+      // (5) The baseline's choice, when it exists, is always among
+      // FlexVC's candidates (FlexVC only relaxes, never forbids).
+      std::vector<VcCandidate> base_cands;
+      base.candidates(s.ctx, base_cands);
+      if (!base_cands.empty()) {
+        bool found = false;
+        for (const auto& cand : cands)
+          found |= cand.phys == base_cands[0].phys;
+        EXPECT_TRUE(found) << s.tag << " arr=" << GetParam();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Arrangements, PolicyProperties,
+                         ::testing::Values("2/1", "3/2", "4/2", "5/2", "8/4",
+                                           "2/1+2/1", "3/2+2/1", "4/2+2/1",
+                                           "4/2+4/2", "5/2+5/2"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (auto& ch : name) {
+                             if (ch == '/') ch = '_';
+                             if (ch == '+') ch = 'p';
+                           }
+                           return name;
+                         });
+
+class UntypedPolicyProperties : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(UntypedPolicyProperties, DiameterTwoInvariants) {
+  const VcArrangement arr = VcArrangement::parse(GetParam());
+  const FlexVcPolicy flex(arr);
+  const VcTemplate& tmpl = flex.tmpl();
+  // Generic diameter-2 shapes: MIN (2 hops), VAL (4), PAR (5).
+  const std::vector<std::pair<HopSeq, HopSeq>> shapes = {
+      {{kL}, {kL}}, {{}, {}}, {{kL, kL, kL}, {kL, kL}}, {{kL, kL}, {kL, kL}}};
+  for (int c = 0; c < (arr.has_reply() ? 2 : 1); ++c) {
+    const auto cls = static_cast<MsgClass>(c);
+    for (const auto& [intended, escape] : shapes) {
+      for (int pos = -1; pos < tmpl.num_positions(); ++pos) {
+        if (pos >= 0 && cls == MsgClass::kRequest &&
+            tmpl.at(pos).cls == MsgClass::kReply)
+          continue;
+        HopContext ctx;
+        ctx.cls = cls;
+        ctx.hop_type = kL;
+        ctx.position = pos;
+        ctx.floors = VcTemplate::no_floors();
+        if (pos >= 0) tmpl.floor_of(ctx.floors, kL) = pos;
+        ctx.intended_after = intended;
+        ctx.escape_after = escape;
+        std::vector<VcCandidate> cands;
+        flex.candidates(ctx, cands);
+        for (const auto& cand : cands) {
+          VcTemplate::TypeFloors next = ctx.floors;
+          tmpl.floor_of(next, kL) = cand.position;
+          EXPECT_TRUE(tmpl.embed_path(escape, next, cand.position, cls))
+              << GetParam() << " pos=" << pos;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Arrangements, UntypedPolicyProperties,
+                         ::testing::Values("2", "3", "4", "5", "3+2", "4+4"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (auto& ch : name)
+                             if (ch == '+') ch = 'p';
+                           return "VCs_" + name;
+                         });
+
+}  // namespace
+}  // namespace flexnet

@@ -1,0 +1,122 @@
+// Focused tests of the dual ordering discipline in VcTemplate::embed_range /
+// embed_path / embed_reachable — the invariants the deadlock argument and
+// the Table IV reply mechanism rest on.
+#include <gtest/gtest.h>
+
+#include "core/vc_template.hpp"
+
+namespace flexnet {
+namespace {
+
+constexpr LinkType kL = LinkType::kLocal;
+constexpr LinkType kG = LinkType::kGlobal;
+
+using Floors = VcTemplate::TypeFloors;
+
+TEST(EmbedPath, TemplateOrderEnforced) {
+  const VcTemplate tmpl(VcArrangement::parse("4/2"));  // l0 g0 l1 l2 g1 l3
+  // From position 1 (g0), l-l-g-l fits: l1 l2 g1 l3.
+  EXPECT_TRUE(tmpl.embed_path({kL, kL, kG, kL}, VcTemplate::no_floors(), 1,
+                              MsgClass::kRequest));
+  // From position 3 (l2), l-g-l does not: after l3 no global remains.
+  EXPECT_FALSE(tmpl.embed_path({kL, kG, kL}, VcTemplate::no_floors(), 3,
+                               MsgClass::kRequest));
+}
+
+TEST(EmbedPath, PerTypeFloorsEnforced) {
+  const VcTemplate tmpl(VcArrangement::parse("4/2"));
+  // Local floor at l2 (pos 3): a g-l continuation from g0 (pos 1) must use
+  // l3, not l1 — the packet already consumed local index 2.
+  Floors floors = VcTemplate::no_floors();
+  tmpl.floor_of(floors, kL) = 3;
+  EXPECT_TRUE(tmpl.embed_path({kG, kL}, floors, 1, MsgClass::kRequest));
+  // With two remaining locals it fails: only l3 sits above the floor.
+  EXPECT_FALSE(tmpl.embed_path({kG, kL, kL}, floors, 1, MsgClass::kRequest));
+}
+
+TEST(EmbedPath, FloorsOfOneTypeDoNotBlockTheOther) {
+  const VcTemplate tmpl(VcArrangement::parse("4/2"));
+  Floors floors = VcTemplate::no_floors();
+  tmpl.floor_of(floors, kL) = 5;  // all locals consumed
+  // A pure-global continuation is still fine from below.
+  EXPECT_TRUE(tmpl.embed_path({kG}, floors, 0, MsgClass::kRequest));
+}
+
+TEST(EmbedPath, RepliesConfinedToOwnSegment) {
+  const VcTemplate tmpl(VcArrangement::parse("2/1+2/1"));
+  // A reply's safe path must fit in the reply segment: one l-g-l fits...
+  EXPECT_TRUE(tmpl.embed_path({kL, kG, kL}, VcTemplate::no_floors(), -1,
+                              MsgClass::kReply));
+  // ...but an l-g-l-l does not (only 2 reply locals), even though the
+  // request segment has room below.
+  EXPECT_FALSE(tmpl.embed_path({kL, kG, kL, kL}, VcTemplate::no_floors(), -1,
+                               MsgClass::kReply));
+}
+
+TEST(EmbedReachable, RepliesSpanTheUnifiedSequence) {
+  const VcTemplate tmpl(VcArrangement::parse("2/1+2/1"));
+  // Valiant needs l g l l g l: unreachable within the reply segment but
+  // reachable over the unified sequence (Theorem 2 / Table IV).
+  const HopSeq val{kL, kG, kL, kL, kG, kL};
+  EXPECT_FALSE(tmpl.embed_path(val, VcTemplate::no_floors(), -1,
+                               MsgClass::kReply));
+  EXPECT_TRUE(tmpl.embed_reachable(val, VcTemplate::no_floors(), -1,
+                                   MsgClass::kReply));
+  // Requests' reachable range is their own segment: still unreachable.
+  EXPECT_FALSE(tmpl.embed_reachable(val, VcTemplate::no_floors(), -1,
+                                    MsgClass::kRequest));
+}
+
+TEST(EmbedRange, ExplicitBounds) {
+  const VcTemplate tmpl(VcArrangement::parse("4/2"));
+  // Within [2, 6) the positions are l1 l2 g1 l3: an l-l-g-l fits exactly,
+  // but l-l-l-g does not (the third local is l3, above the last global).
+  EXPECT_TRUE(
+      tmpl.embed_range({kL, kL, kG, kL}, VcTemplate::no_floors(), -1, 2, 6));
+  EXPECT_FALSE(
+      tmpl.embed_range({kL, kL, kL, kG}, VcTemplate::no_floors(), -1, 2, 6));
+}
+
+TEST(EmbedRange, EmptySequenceAlwaysFits) {
+  const VcTemplate tmpl(VcArrangement::parse("2/1"));
+  EXPECT_TRUE(tmpl.embed_range({}, VcTemplate::no_floors(), 2, 0, 3));
+}
+
+TEST(EmbedPath, MonotoneInFloors) {
+  // Property: raising any floor can only turn feasible into infeasible,
+  // never the reverse — the assumption behind greedy-lowest optimality.
+  const VcTemplate tmpl(VcArrangement::parse("8/4"));
+  const HopSeq seq{kL, kG, kL, kL, kG, kL};
+  for (int from = -1; from < tmpl.num_positions(); ++from) {
+    const bool loose =
+        tmpl.embed_path(seq, VcTemplate::no_floors(), from, MsgClass::kRequest);
+    for (int lf = 0; lf < tmpl.num_positions(); ++lf) {
+      Floors floors = VcTemplate::no_floors();
+      tmpl.floor_of(floors, kL) = lf;
+      const bool tight = tmpl.embed_path(seq, floors, from, MsgClass::kRequest);
+      EXPECT_TRUE(loose || !tight)
+          << "tightening floors created feasibility: from=" << from
+          << " lf=" << lf;
+    }
+  }
+}
+
+TEST(EmbedPath, GreedyMatchesReferenceAssignments) {
+  // The 4/2 reference l0 g0 l1 l2 g1 l3 embeds exactly from injection; any
+  // prefix consumed leaves the suffix embeddable.
+  const VcTemplate tmpl(VcArrangement::parse("4/2"));
+  HopSeq remaining{kL, kG, kL, kL, kG, kL};
+  const int positions[] = {0, 1, 2, 3, 4, 5};
+  Floors floors = VcTemplate::no_floors();
+  int pos = -1;
+  for (int hop = 0; hop < 6; ++hop) {
+    EXPECT_TRUE(tmpl.embed_path(remaining, floors, pos, MsgClass::kRequest))
+        << "hop " << hop;
+    pos = positions[hop];
+    tmpl.floor_of(floors, tmpl.at(pos).type) = pos;
+    remaining = remaining.tail();
+  }
+}
+
+}  // namespace
+}  // namespace flexnet

@@ -1,0 +1,82 @@
+#include "core/vc_arrangement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace flexnet {
+namespace {
+
+TEST(VcArrangement, ParsesTypedSingleClass) {
+  const auto arr = VcArrangement::parse("4/2");
+  EXPECT_TRUE(arr.typed);
+  EXPECT_EQ(arr.req_local, 4);
+  EXPECT_EQ(arr.req_global, 2);
+  EXPECT_FALSE(arr.has_reply());
+  EXPECT_EQ(arr.to_string(), "4/2");
+}
+
+TEST(VcArrangement, ParsesTypedRequestReply) {
+  const auto arr = VcArrangement::parse("4/2+2/1");
+  EXPECT_TRUE(arr.typed);
+  EXPECT_EQ(arr.req_local, 4);
+  EXPECT_EQ(arr.req_global, 2);
+  EXPECT_EQ(arr.rep_local, 2);
+  EXPECT_EQ(arr.rep_global, 1);
+  EXPECT_TRUE(arr.has_reply());
+  EXPECT_EQ(arr.to_string(), "4/2+2/1");
+}
+
+TEST(VcArrangement, ParsesUntyped) {
+  const auto arr = VcArrangement::parse("3");
+  EXPECT_FALSE(arr.typed);
+  EXPECT_EQ(arr.req_local, 3);
+  EXPECT_FALSE(arr.has_reply());
+  EXPECT_EQ(arr.to_string(), "3");
+}
+
+TEST(VcArrangement, ParsesUntypedRequestReply) {
+  const auto arr = VcArrangement::parse("3+2");
+  EXPECT_FALSE(arr.typed);
+  EXPECT_EQ(arr.req_local, 3);
+  EXPECT_EQ(arr.rep_local, 2);
+  EXPECT_EQ(arr.to_string(), "3+2");
+}
+
+TEST(VcArrangement, CountPerClassAndType) {
+  const auto arr = VcArrangement::parse("4/2+2/1");
+  EXPECT_EQ(arr.count(MsgClass::kRequest, LinkType::kLocal), 4);
+  EXPECT_EQ(arr.count(MsgClass::kRequest, LinkType::kGlobal), 2);
+  EXPECT_EQ(arr.count(MsgClass::kReply, LinkType::kLocal), 2);
+  EXPECT_EQ(arr.count(MsgClass::kReply, LinkType::kGlobal), 1);
+  EXPECT_EQ(arr.vcs_per_port(LinkType::kLocal), 6);
+  EXPECT_EQ(arr.vcs_per_port(LinkType::kGlobal), 3);
+}
+
+TEST(VcArrangement, UntypedFoldsGlobalOntoLocal) {
+  const auto arr = VcArrangement::parse("3+2");
+  EXPECT_EQ(arr.count(MsgClass::kRequest, LinkType::kGlobal), 3);
+  EXPECT_EQ(arr.vcs_per_port(LinkType::kGlobal), 5);
+}
+
+TEST(VcArrangement, RejectsMalformedInput) {
+  EXPECT_THROW(VcArrangement::parse("abc"), std::invalid_argument);
+  EXPECT_THROW(VcArrangement::parse("4/"), std::invalid_argument);
+  EXPECT_THROW(VcArrangement::parse("0/2"), std::invalid_argument);
+  EXPECT_THROW(VcArrangement::parse("4/0"), std::invalid_argument);
+  EXPECT_THROW(VcArrangement::parse("4/2+3"), std::invalid_argument);
+  EXPECT_THROW(VcArrangement::parse("4/2x"), std::invalid_argument);
+}
+
+TEST(VcArrangement, PaperTableVDefaults) {
+  // Table V: 2/1 for MIN, 4/2 for VAL and PB.
+  const auto min_arr = VcArrangement::parse("2/1");
+  EXPECT_EQ(min_arr.vcs_per_port(LinkType::kLocal), 2);
+  EXPECT_EQ(min_arr.vcs_per_port(LinkType::kGlobal), 1);
+  const auto val_arr = VcArrangement::parse("4/2");
+  EXPECT_EQ(val_arr.vcs_per_port(LinkType::kLocal), 4);
+  EXPECT_EQ(val_arr.vcs_per_port(LinkType::kGlobal), 2);
+}
+
+}  // namespace
+}  // namespace flexnet

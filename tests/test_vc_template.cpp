@@ -1,0 +1,160 @@
+#include "core/vc_template.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flexnet {
+namespace {
+
+constexpr LinkType kL = LinkType::kLocal;
+constexpr LinkType kG = LinkType::kGlobal;
+
+std::string order_string(const std::string& arrangement) {
+  return VcTemplate(VcArrangement::parse(arrangement)).to_string();
+}
+
+// --- Skeleton construction (paper SII and SIII-C reference paths).
+
+TEST(VcTemplate, MinSkeleton21) { EXPECT_EQ(order_string("2/1"), "l0 g0 l1"); }
+
+TEST(VcTemplate, OpportunisticValSkeleton32) {
+  // SIII-C: "the sequence l0 - g1 - l2 - g3 - l4" (per-type indices).
+  EXPECT_EQ(order_string("3/2"), "l0 g0 l1 g1 l2");
+}
+
+TEST(VcTemplate, SafeValSkeleton42) {
+  // SII: VAL requires 4/2 via l0 - g1 - l2 - l3 - g4 - l5.
+  EXPECT_EQ(order_string("4/2"), "l0 g0 l1 l2 g1 l3");
+}
+
+TEST(VcTemplate, SafeParSkeleton52) {
+  // SII: PAR requires 5/2 via l0 - l1 - g2 - l3 - l4 - g5 - l6.
+  EXPECT_EQ(order_string("5/2"), "l0 l1 g0 l2 l3 g1 l4");
+}
+
+TEST(VcTemplate, ExtraLocalPrepended31) {
+  EXPECT_EQ(order_string("3/1"), "l0 l1 g0 l2");
+}
+
+TEST(VcTemplate, ExtraGlobalPrepended22) {
+  EXPECT_EQ(order_string("2/2"), "g0 l0 g1 l1");
+}
+
+TEST(VcTemplate, AdditionalVcsAtStart84) {
+  // Fig 5/6's 8/4 FlexVC configuration: PAR skeleton plus 2 extra globals
+  // and 3 extra locals at the start of the reference path.
+  EXPECT_EQ(order_string("8/4"), "g0 g1 l0 l1 l2 l3 l4 g2 l5 l6 g3 l7");
+}
+
+TEST(VcTemplate, UntypedPositionsEqualIndices) {
+  EXPECT_EQ(order_string("4"), "l0 l1 l2 l3");
+}
+
+TEST(VcTemplate, RequestReplyConcatenation) {
+  EXPECT_EQ(order_string("2/1+2/1"), "l0 g0 l1 | l0' g0' l1'");
+  EXPECT_EQ(order_string("3+2"), "l0 l1 l2 | l0' l1'");
+}
+
+// --- Position and physical index mappings.
+
+TEST(VcTemplate, RequestLimitSplitsSegments) {
+  const VcTemplate tmpl(VcArrangement::parse("3/2+2/1"));
+  EXPECT_EQ(tmpl.num_positions(), 8);
+  EXPECT_EQ(tmpl.request_limit(), 5);
+  EXPECT_EQ(tmpl.class_limit(MsgClass::kRequest), 5);
+  EXPECT_EQ(tmpl.class_limit(MsgClass::kReply), 8);
+}
+
+TEST(VcTemplate, PositionRoundTrips) {
+  const VcTemplate tmpl(VcArrangement::parse("4/2+2/1"));
+  for (int p = 0; p < tmpl.num_positions(); ++p) {
+    EXPECT_EQ(tmpl.position(tmpl.at(p)), p);
+  }
+}
+
+TEST(VcTemplate, PositionsAreMonotonePerType) {
+  const VcTemplate tmpl(VcArrangement::parse("5/2+3/2"));
+  for (LinkType t : {kL, kG}) {
+    const auto& list = tmpl.positions_of_type(t);
+    for (std::size_t i = 1; i < list.size(); ++i)
+      EXPECT_LT(list[i - 1], list[i]);
+  }
+}
+
+TEST(VcTemplate, PhysicalIndexPacksRequestThenReply) {
+  const VcTemplate tmpl(VcArrangement::parse("3/2+2/1"));
+  EXPECT_EQ(tmpl.physical_index({MsgClass::kRequest, kL, 0}), 0);
+  EXPECT_EQ(tmpl.physical_index({MsgClass::kRequest, kL, 2}), 2);
+  EXPECT_EQ(tmpl.physical_index({MsgClass::kReply, kL, 0}), 3);
+  EXPECT_EQ(tmpl.physical_index({MsgClass::kReply, kL, 1}), 4);
+  EXPECT_EQ(tmpl.physical_index({MsgClass::kRequest, kG, 1}), 1);
+  EXPECT_EQ(tmpl.physical_index({MsgClass::kReply, kG, 0}), 2);
+}
+
+TEST(VcTemplate, FromPhysicalRoundTrips) {
+  const VcTemplate tmpl(VcArrangement::parse("4/2+2/1"));
+  for (LinkType t : {kL, kG}) {
+    for (VcIndex v = 0; v < tmpl.vcs_per_port(t); ++v) {
+      const VcRef ref = tmpl.from_physical(t, v);
+      EXPECT_EQ(tmpl.physical_index(ref), v);
+      EXPECT_EQ(ref.type, t);
+    }
+  }
+}
+
+TEST(VcTemplate, UntypedFromPhysicalIgnoresPortType) {
+  const VcTemplate tmpl(VcArrangement::parse("3"));
+  const VcRef ref = tmpl.from_physical(kG, 2);
+  EXPECT_EQ(ref.type, kL);
+  EXPECT_EQ(ref.index, 2);
+}
+
+// --- Embedding (safe-path existence).
+
+TEST(VcTemplate, EmbedMinIntoMinTemplate) {
+  const VcTemplate tmpl(VcArrangement::parse("2/1"));
+  EXPECT_GE(tmpl.embed(HopSeq{kL, kG, kL}, -1, tmpl.num_positions()), 0);
+}
+
+TEST(VcTemplate, EmbedValNeedsFourTwo) {
+  const HopSeq val{kL, kG, kL, kL, kG, kL};
+  const VcTemplate t32(VcArrangement::parse("3/2"));
+  EXPECT_EQ(t32.embed(val, -1, t32.num_positions()), -1);
+  const VcTemplate t42(VcArrangement::parse("4/2"));
+  EXPECT_GE(t42.embed(val, -1, t42.num_positions()), 0);
+}
+
+TEST(VcTemplate, EmbedRespectsFromPosition) {
+  const VcTemplate tmpl(VcArrangement::parse("4/2"));  // l0 g0 l1 l2 g1 l3
+  // From position 0 (l0), the remaining g-l-l-g-l of a VAL path fits.
+  EXPECT_GE(tmpl.embed(HopSeq{kG, kL, kL, kG, kL}, 0, 6), 0);
+  // From position 2 (l1), l-l-g-l does not fit (only one l before g1).
+  EXPECT_EQ(tmpl.embed(HopSeq{kL, kL, kG, kL}, 2, 6), -1);
+}
+
+TEST(VcTemplate, EmbedRespectsLimit) {
+  const VcTemplate tmpl(VcArrangement::parse("2/1+2/1"));
+  const HopSeq min{kL, kG, kL};
+  // Fits in the request segment...
+  EXPECT_GE(tmpl.embed(min, -1, tmpl.request_limit()), 0);
+  // ...but a second MIN does not fit above the first within the segment.
+  const int end = tmpl.embed(min, -1, tmpl.request_limit());
+  EXPECT_EQ(tmpl.embed(min, end, tmpl.request_limit()), -1);
+  // With the full template (reply segment) it does.
+  EXPECT_GE(tmpl.embed(min, end, tmpl.num_positions()), 0);
+}
+
+TEST(VcTemplate, EmbedEmptySequenceReturnsFrom) {
+  const VcTemplate tmpl(VcArrangement::parse("2/1"));
+  EXPECT_EQ(tmpl.embed(HopSeq{}, 1, 3), 1);
+}
+
+TEST(VcTemplate, LowestOfTypeInclusive) {
+  const VcTemplate tmpl(VcArrangement::parse("4/2"));  // l0 g0 l1 l2 g1 l3
+  EXPECT_EQ(tmpl.lowest_of_type(kL, 0, 6), 0);
+  EXPECT_EQ(tmpl.lowest_of_type(kL, 1, 6), 2);
+  EXPECT_EQ(tmpl.lowest_of_type(kG, 2, 6), 4);
+  EXPECT_EQ(tmpl.lowest_of_type(kG, 5, 6), -1);
+}
+
+}  // namespace
+}  // namespace flexnet
