@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
     cfg.vcs = "3/2";  // opportunistic PAR: 40% fewer local VCs
     s.push_back(series("PAR FlexVC 3/2", cfg));
 
-    auto sweeps = run_load_sweep(s, load_points(0.1, 1.0, 6), seeds, progress);
+    auto sweeps = run_recorded_sweep(std::string("PAR study: ") + traffic, s,
+                                     load_points(0.1, 1.0, 6), seeds);
     print_sweep_table(std::string("PAR study: ") + traffic, sweeps);
     print_throughput_summary(std::string("PAR ") + traffic, sweeps);
   }
@@ -41,5 +42,5 @@ int main(int argc, char** argv) {
       "VAL's\nthroughput while keeping MIN-like latency under UN. FlexVC "
       "sustains it\nwith 3/2 VCs (opportunistic, Table III) instead of the "
       "baseline's 5/2.\n");
-  return 0;
+  return write_report();
 }

@@ -42,7 +42,8 @@ int main(int argc, char** argv) {
     cfg.mincred = true;
     s.push_back(series("UGAL FlexVC 4VC minCred", cfg));
 
-    auto sweeps = run_load_sweep(s, load_points(0.1, 1.0, 6), seeds, progress);
+    auto sweeps = run_recorded_sweep(std::string("Slim Fly: ") + traffic, s,
+                                     load_points(0.1, 1.0, 6), seeds);
     print_sweep_table(std::string("Slim Fly: ") + traffic, sweeps);
     print_throughput_summary(std::string("Slim Fly ") + traffic, sweeps);
   }
@@ -51,5 +52,5 @@ int main(int argc, char** argv) {
       "diameter-2\nnetworks — 3 VCs carry opportunistic Valiant (Table I) "
       "and minCred keeps\nUGAL's comparison meaningful when FlexVC merges "
       "flows.\n");
-  return 0;
+  return write_report();
 }

@@ -26,23 +26,32 @@ int main(int argc, char** argv) {
   const double fractions[] = {0.0, 0.25, 0.5, 0.75, 1.0};
   const auto loads = load_points(0.2, 1.0, 6);
 
+  // One series per reservation fraction: the full (fraction x load) grid
+  // runs as a single sharded sweep.
+  std::vector<ExperimentSeries> grid;
+  for (double frac : fractions) {
+    SimConfig cfg = base;
+    cfg.damq_private_fraction = frac;
+    grid.push_back(
+        series(std::to_string(static_cast<int>(frac * 100)) + "% private",
+               cfg));
+  }
+  const auto sweeps =
+      run_recorded_sweep("Fig 10: DAMQ reservation sweep", grid, loads, seeds);
+
   std::printf("\n%-8s", "load");
   for (double frac : fractions)
     std::printf(" | %3.0f%% (%2d phits)", frac * 100,
                 static_cast<int>(frac * 32));
   std::printf("\n");
-  for (double load : loads) {
-    std::printf("%-8.3f", load);
-    for (double frac : fractions) {
-      SimConfig cfg = base;
-      cfg.damq_private_fraction = frac;
-      cfg.load = load;
-      SimResult r = run_averaged(cfg, seeds);
+  for (std::size_t l = 0; l < loads.size(); ++l) {
+    std::printf("%-8.3f", loads[l]);
+    for (const auto& sweep : sweeps) {
+      const SimResult& r = sweep.rows[l].result;
       if (r.deadlock)
         std::printf(" | %-15s", "DEADLOCK");
       else
         std::printf(" | %-15.4f", r.accepted);
-      std::fflush(stdout);
     }
     std::printf("\n");
   }
@@ -51,5 +60,5 @@ int main(int argc, char** argv) {
       "optimal and\nclose to statically partitioned (100%%) — DAMQs need "
       "most memory private,\nnullifying their benefit (the argument for "
       "FlexVC's static buffers).\n");
-  return 0;
+  return write_report();
 }

@@ -1,59 +1,10 @@
 // Figure 11: the Figure 6 capacity sweep without router speedup (crossbar
 // at link frequency). HoLB dominates without the 2x crossbar margin, so
 // FlexVC's gains grow (the paper reports up to +37.8%).
-#include "bench_util.hpp"
+#include "bench_capacity_panel.hpp"
 
 using namespace flexnet;
 using namespace flexnet::bench;
-
-namespace {
-
-struct Capacity {
-  int local;
-  int global;
-};
-const Capacity kCapacities[] = {{64, 256}, {128, 512}, {192, 768}, {256, 1024}};
-
-void run_panel(const char* name, const SimConfig& base,
-               const std::string& min_vcs,
-               const std::vector<std::string>& flex_vcs, bool skip_smallest) {
-  std::printf("\n== %s (no speedup) : max throughput vs port capacity ==\n",
-              name);
-  std::printf("%-18s | %-12s | %-12s", "capacity l/g", "Baseline", "DAMQ 75%");
-  for (const auto& vcs : flex_vcs)
-    std::printf(" | FlexVC %-6s", vcs.c_str());
-  std::printf("\n");
-  for (const auto& cap : kCapacities) {
-    if (skip_smallest && cap.local == 64) continue;
-    SimConfig cfg = base;
-    cfg.local_port_capacity = cap.local;
-    cfg.global_port_capacity = cap.global;
-    std::printf("%4d/%-13d", cap.local, cap.global);
-    const auto max_of = [&](SimConfig c) {
-      auto sweeps = run_load_sweep({series("x", c)}, {0.7, 0.85, 1.0},
-                                   bench_seeds());
-      return sweeps.front().max_accepted();
-    };
-    SimConfig c = cfg;
-    c.vcs = min_vcs;
-    c.policy = "baseline";
-    std::printf(" | %-12.4f", max_of(c));
-    std::fflush(stdout);
-    c.buffer_org = "damq";
-    std::printf(" | %-12.4f", max_of(c));
-    std::fflush(stdout);
-    c.buffer_org = "static";
-    c.policy = "flexvc";
-    for (const auto& vcs : flex_vcs) {
-      c.vcs = vcs;
-      std::printf(" | %-13.4f", max_of(c));
-      std::fflush(stdout);
-    }
-    std::printf("\n");
-  }
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   print_header("Figure 11", "Figure 6 without router speedup");
@@ -63,20 +14,22 @@ int main(int argc, char** argv) {
     SimConfig cfg = base;
     cfg.traffic = "uniform";
     cfg.routing = "min";
-    run_panel("Fig 11a: UN/MIN", cfg, "2/1", {"2/1", "4/2", "8/4"}, false);
+    run_capacity_panel("Fig 11a: UN/MIN", cfg, "2/1", {"2/1", "4/2", "8/4"},
+                       false, " (no speedup)");
   }
   {
     SimConfig cfg = base;
     cfg.traffic = "bursty";
     cfg.routing = "min";
-    run_panel("Fig 11b: BURSTY-UN/MIN", cfg, "2/1", {"2/1", "4/2", "8/4"},
-              false);
+    run_capacity_panel("Fig 11b: BURSTY-UN/MIN", cfg, "2/1",
+                       {"2/1", "4/2", "8/4"}, false, " (no speedup)");
   }
   {
     SimConfig cfg = base;
     cfg.traffic = "adversarial";
     cfg.routing = "val";
-    run_panel("Fig 11c: ADV/VAL", cfg, "4/2", {"4/2", "8/4"}, true);
+    run_capacity_panel("Fig 11c: ADV/VAL", cfg, "4/2", {"4/2", "8/4"}, true,
+                       " (no speedup)");
   }
-  return 0;
+  return write_report();
 }

@@ -41,8 +41,9 @@ int main(int argc, char** argv) {
     SimConfig cfg = base;
     cfg.traffic = "uniform";
     cfg.routing = "min";
-    auto sweeps = run_load_sweep(panel_series(cfg, "2/1"),
-                                 load_points(0.1, 1.0, 7), seeds, progress);
+    auto sweeps = run_recorded_sweep("Fig 5a: UN, MIN routing",
+                                     panel_series(cfg, "2/1"),
+                                     load_points(0.1, 1.0, 7), seeds);
     print_sweep_table("Fig 5a: UN, MIN routing", sweeps);
     print_throughput_summary("Fig 5a", sweeps);
   }
@@ -50,8 +51,9 @@ int main(int argc, char** argv) {
     SimConfig cfg = base;
     cfg.traffic = "bursty";
     cfg.routing = "min";
-    auto sweeps = run_load_sweep(panel_series(cfg, "2/1"),
-                                 load_points(0.1, 1.0, 7), seeds, progress);
+    auto sweeps = run_recorded_sweep("Fig 5b: BURSTY-UN, MIN routing",
+                                     panel_series(cfg, "2/1"),
+                                     load_points(0.1, 1.0, 7), seeds);
     print_sweep_table("Fig 5b: BURSTY-UN, MIN routing", sweeps);
     print_throughput_summary("Fig 5b", sweeps);
   }
@@ -70,9 +72,10 @@ int main(int argc, char** argv) {
     s.push_back(series("FlexVC 4/2VCs", cfg));
     cfg.vcs = "8/4";
     s.push_back(series("FlexVC 8/4VCs", cfg));
-    auto sweeps = run_load_sweep(s, load_points(0.1, 1.0, 7), seeds, progress);
+    auto sweeps = run_recorded_sweep("Fig 5c: ADV, VAL routing", s,
+                                     load_points(0.1, 1.0, 7), seeds);
     print_sweep_table("Fig 5c: ADV, VAL routing", sweeps);
     print_throughput_summary("Fig 5c", sweeps);
   }
-  return 0;
+  return write_report();
 }

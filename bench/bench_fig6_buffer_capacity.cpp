@@ -2,63 +2,10 @@
 // {64/256, 128/512, 192/768, 256/1024} phits on local/global ports, split
 // among however many VCs each configuration uses. FlexVC wins at every
 // capacity; the effect is largest with small buffers and under BURSTY-UN.
-#include "bench_util.hpp"
+#include "bench_capacity_panel.hpp"
 
 using namespace flexnet;
 using namespace flexnet::bench;
-
-namespace {
-
-struct Capacity {
-  int local;
-  int global;
-};
-
-const Capacity kCapacities[] = {{64, 256}, {128, 512}, {192, 768}, {256, 1024}};
-
-std::vector<ExperimentSeries> capacity_series(
-    const SimConfig& base, const std::string& min_vcs,
-    const std::vector<std::string>& flex_vcs) {
-  std::vector<ExperimentSeries> out;
-  SimConfig cfg = base;
-  cfg.vcs = min_vcs;
-  cfg.policy = "baseline";
-  out.push_back(series("Baseline", cfg));
-  cfg.buffer_org = "damq";
-  out.push_back(series("DAMQ 75%", cfg));
-  cfg.buffer_org = "static";
-  cfg.policy = "flexvc";
-  for (const auto& vcs : flex_vcs) {
-    cfg.vcs = vcs;
-    out.push_back(series("FlexVC " + vcs + "VCs", cfg));
-  }
-  return out;
-}
-
-void run_panel(const char* name, const SimConfig& base,
-               const std::string& min_vcs,
-               const std::vector<std::string>& flex_vcs, bool skip_smallest) {
-  std::printf("\n== %s : max throughput vs port capacity ==\n", name);
-  std::printf("%-18s", "capacity l/g");
-  for (const auto& s : capacity_series(base, min_vcs, flex_vcs))
-    std::printf(" | %-16s", s.label.c_str());
-  std::printf("\n");
-  for (const auto& cap : kCapacities) {
-    if (skip_smallest && cap.local == 64) continue;  // paper omits 64/256 for ADV
-    SimConfig cfg = base;
-    cfg.local_port_capacity = cap.local;
-    cfg.global_port_capacity = cap.global;
-    std::printf("%4d/%-13d", cap.local, cap.global);
-    for (auto& s : capacity_series(cfg, min_vcs, flex_vcs)) {
-      auto sweeps = run_load_sweep({s}, {0.7, 0.85, 1.0}, bench_seeds());
-      std::printf(" | %-16.4f", sweeps.front().max_accepted());
-      std::fflush(stdout);
-    }
-    std::printf("\n");
-  }
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   print_header("Figure 6", "max throughput at constant port capacity");
@@ -67,20 +14,21 @@ int main(int argc, char** argv) {
     SimConfig cfg = base;
     cfg.traffic = "uniform";
     cfg.routing = "min";
-    run_panel("Fig 6a: UN/MIN", cfg, "2/1", {"2/1", "4/2", "8/4"}, false);
+    run_capacity_panel("Fig 6a: UN/MIN", cfg, "2/1", {"2/1", "4/2", "8/4"},
+                       false);
   }
   {
     SimConfig cfg = base;
     cfg.traffic = "bursty";
     cfg.routing = "min";
-    run_panel("Fig 6b: BURSTY-UN/MIN", cfg, "2/1", {"2/1", "4/2", "8/4"},
-              false);
+    run_capacity_panel("Fig 6b: BURSTY-UN/MIN", cfg, "2/1",
+                       {"2/1", "4/2", "8/4"}, false);
   }
   {
     SimConfig cfg = base;
     cfg.traffic = "adversarial";
     cfg.routing = "val";
-    run_panel("Fig 6c: ADV/VAL", cfg, "4/2", {"4/2", "8/4"}, true);
+    run_capacity_panel("Fig 6c: ADV/VAL", cfg, "4/2", {"4/2", "8/4"}, true);
   }
-  return 0;
+  return write_report();
 }

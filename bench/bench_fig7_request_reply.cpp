@@ -56,8 +56,9 @@ int main(int argc, char** argv) {
     SimConfig cfg = base;
     cfg.traffic = "uniform";
     cfg.routing = "min";
-    auto sweeps = run_load_sweep(min_series(cfg), load_points(0.2, 1.0, 6),
-                                 seeds, progress);
+    auto sweeps =
+        run_recorded_sweep("Fig 7a: UN request-reply, MIN routing",
+                           min_series(cfg), load_points(0.2, 1.0, 6), seeds);
     print_sweep_table("Fig 7a: UN request-reply, MIN routing", sweeps);
     print_throughput_summary("Fig 7a", sweeps);
   }
@@ -65,8 +66,9 @@ int main(int argc, char** argv) {
     SimConfig cfg = base;
     cfg.traffic = "bursty";
     cfg.routing = "min";
-    auto sweeps = run_load_sweep(min_series(cfg), load_points(0.2, 1.0, 6),
-                                 seeds, progress);
+    auto sweeps =
+        run_recorded_sweep("Fig 7b: BURSTY-UN request-reply, MIN routing",
+                           min_series(cfg), load_points(0.2, 1.0, 6), seeds);
     print_sweep_table("Fig 7b: BURSTY-UN request-reply, MIN routing", sweeps);
     print_throughput_summary("Fig 7b", sweeps);
   }
@@ -74,10 +76,11 @@ int main(int argc, char** argv) {
     SimConfig cfg = base;
     cfg.traffic = "adversarial";
     cfg.routing = "val";
-    auto sweeps = run_load_sweep(val_series(cfg), load_points(0.2, 1.0, 6),
-                                 seeds, progress);
+    auto sweeps =
+        run_recorded_sweep("Fig 7c: ADV request-reply, VAL routing",
+                           val_series(cfg), load_points(0.2, 1.0, 6), seeds);
     print_sweep_table("Fig 7c: ADV request-reply, VAL routing", sweeps);
     print_throughput_summary("Fig 7c", sweeps);
   }
-  return 0;
+  return write_report();
 }

@@ -52,26 +52,29 @@ int main(int argc, char** argv) {
   {
     SimConfig cfg = base;
     cfg.traffic = "uniform";
-    auto sweeps = run_load_sweep(pb_series(cfg, "min"),
-                                 load_points(0.2, 1.0, 6), seeds, progress);
+    auto sweeps =
+        run_recorded_sweep("Fig 8a: UN request-reply, PB", pb_series(cfg, "min"),
+                           load_points(0.2, 1.0, 6), seeds);
     print_sweep_table("Fig 8a: UN request-reply, PB", sweeps);
     print_throughput_summary("Fig 8a", sweeps);
   }
   {
     SimConfig cfg = base;
     cfg.traffic = "bursty";
-    auto sweeps = run_load_sweep(pb_series(cfg, "min"),
-                                 load_points(0.2, 1.0, 6), seeds, progress);
+    auto sweeps = run_recorded_sweep("Fig 8b: BURSTY-UN request-reply, PB",
+                                     pb_series(cfg, "min"),
+                                     load_points(0.2, 1.0, 6), seeds);
     print_sweep_table("Fig 8b: BURSTY-UN request-reply, PB", sweeps);
     print_throughput_summary("Fig 8b", sweeps);
   }
   {
     SimConfig cfg = base;
     cfg.traffic = "adversarial";
-    auto sweeps = run_load_sweep(pb_series(cfg, "val"),
-                                 load_points(0.2, 1.0, 6), seeds, progress);
+    auto sweeps =
+        run_recorded_sweep("Fig 8c: ADV request-reply, PB", pb_series(cfg, "val"),
+                           load_points(0.2, 1.0, 6), seeds);
     print_sweep_table("Fig 8c: ADV request-reply, PB", sweeps);
     print_throughput_summary("Fig 8c", sweeps);
   }
-  return 0;
+  return write_report();
 }

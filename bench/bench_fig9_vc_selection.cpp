@@ -20,32 +20,45 @@ int main(int argc, char** argv) {
                                 "2/1+4/3", "3/2+3/2", "4/3+2/1"};
   const char* selections[] = {"jsq", "highest", "lowest", "random"};
 
-  // Reference rows: baseline and DAMQ at the minimum arrangement.
+  // The whole grid — two reference rows plus (arrangement x selection) —
+  // runs as one sharded sweep at the single 100% load point.
+  std::vector<ExperimentSeries> grid;
   {
     SimConfig cfg = base;
     cfg.vcs = "2/1+2/1";
     cfg.policy = "baseline";
-    std::printf("%-24s %8.4f\n", "Baseline 2/1+2/1",
-                run_averaged(cfg, seeds).accepted);
+    grid.push_back(series("Baseline 2/1+2/1", cfg));
     cfg.buffer_org = "damq";
-    std::printf("%-24s %8.4f\n", "DAMQ 2/1+2/1 75%",
-                run_averaged(cfg, seeds).accepted);
+    grid.push_back(series("DAMQ 2/1+2/1 75%", cfg));
   }
-
-  std::printf("\n%-12s", "VCs");
-  for (const char* sel : selections) std::printf(" | %-10s", sel);
-  std::printf("\n");
   for (const char* arr : arrangements) {
-    std::printf("%-12s", arr);
     for (const char* sel : selections) {
       SimConfig cfg = base;
       cfg.policy = "flexvc";
       cfg.vcs = arr;
       cfg.vc_selection = sel;
-      std::printf(" | %-10.4f", run_averaged(cfg, seeds).accepted);
-      std::fflush(stdout);
+      grid.push_back(series(std::string(arr) + " " + sel, cfg));
+    }
+  }
+  const auto sweeps =
+      run_recorded_sweep("Fig 9: VC selection @ 100% load", grid, {1.0}, seeds);
+  const auto accepted = [&](std::size_t i) {
+    return sweeps[i].rows.front().result.accepted;
+  };
+
+  std::printf("%-24s %8.4f\n", "Baseline 2/1+2/1", accepted(0));
+  std::printf("%-24s %8.4f\n", "DAMQ 2/1+2/1 75%", accepted(1));
+  std::printf("\n%-12s", "VCs");
+  for (const char* sel : selections) std::printf(" | %-10s", sel);
+  std::printf("\n");
+  std::size_t k = 2;
+  for (const char* arr : arrangements) {
+    std::printf("%-12s", arr);
+    for (const char* sel : selections) {
+      (void)sel;
+      std::printf(" | %-10.4f", accepted(k++));
     }
     std::printf("\n");
   }
-  return 0;
+  return write_report();
 }

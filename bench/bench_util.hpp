@@ -1,34 +1,107 @@
 // Shared scaffolding for the figure-reproduction benches: every bench
-// builds a set of labeled configurations, sweeps offered load, and prints
-// the rows of the corresponding paper figure.
+// builds a set of labeled configurations, sweeps offered load across the
+// parallel sweep runner, and prints the rows of the corresponding paper
+// figure (optionally mirrored into a JSON report).
 //
 // Scale: the paper simulates a (p=8,a=16,h=8) Dragonfly — 2,064 routers —
 // for 60k cycles x 5 seeds. The default bench scale is (2,4,2) with
 // identical microarchitecture (Table V) so the full suite runs on one core;
 // set FLEXNET_SCALE=h4 or h8 and FLEXNET_SEEDS/FLEXNET_MEASURE to scale up.
+//
+// Parallelism and reporting:
+//   --jobs N  (or FLEXNET_JOBS=N, or jobs=N)   worker threads for sweeps
+//   --json P  (or json=P)                      write a JSON report to P
+// Results are bit-identical for any worker count (see SweepRunner).
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "common/options.hpp"
+#include "runner/json_report.hpp"
+#include "runner/sweep_runner.hpp"
+#include "runner/thread_pool.hpp"
 #include "sim/experiment.hpp"
 
 namespace flexnet::bench {
 
+/// Per-process bench session: worker count, optional JSON report sink, and
+/// the base config echoed into the report meta.
+struct BenchContext {
+  int jobs = ThreadPool::default_jobs();
+  std::string json_path;
+  JsonReport report;
+};
+
+inline BenchContext& ctx() {
+  static BenchContext c;
+  return c;
+}
+
 /// Table V defaults at bench scale, with command-line overrides applied.
+/// `--jobs N` / `--json PATH` (and the key=value forms `jobs=N`/`json=P`)
+/// are consumed here; every other token goes to Options::parse as before.
 inline SimConfig base_config(int argc = 0, const char* const* argv = nullptr) {
   const BenchScale scale = bench_scale();
   SimConfig cfg;
   cfg.dragonfly = scale.dragonfly;
   cfg.warmup = scale.warmup;
   cfg.measure = scale.measure;
-  if (argc > 0) cfg.apply(Options::parse(argc, argv));
+  if (argc > 0) {
+    std::vector<const char*> rest;
+    rest.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+      const std::string tok = argv[i];
+      const auto flag_value = [&](const std::string& name,
+                                  std::string* out) {
+        if (tok == "--" + name) {
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "error: --%s requires a value\n",
+                         name.c_str());
+            std::exit(2);
+          }
+          *out = argv[++i];
+          return true;
+        }
+        if (tok.rfind("--" + name + "=", 0) == 0) {
+          *out = tok.substr(name.size() + 3);
+          return true;
+        }
+        return false;
+      };
+      std::string value;
+      if (flag_value("jobs", &value)) {
+        ctx().jobs = std::max(1, std::atoi(value.c_str()));
+      } else if (flag_value("json", &value)) {
+        ctx().json_path = value;
+      } else {
+        rest.push_back(argv[i]);
+      }
+    }
+    const Options opts =
+        Options::parse(static_cast<int>(rest.size()), rest.data());
+    if (opts.has("jobs"))
+      ctx().jobs = std::max(1, static_cast<int>(opts.get_int("jobs", 1)));
+    if (opts.has("json")) ctx().json_path = opts.get("json", "");
+    cfg.apply(opts);
+    // print_header runs before the command line is parsed; re-stamp the
+    // report meta so the JSON reflects the overridden config.
+    JsonReport& report = ctx().report;
+    report.set_meta("config", cfg.summary());
+    report.set_meta("nodes",
+                    static_cast<std::int64_t>(cfg.dragonfly.num_nodes()));
+    report.set_meta("warmup", static_cast<std::int64_t>(cfg.warmup));
+    report.set_meta("measure", static_cast<std::int64_t>(cfg.measure));
+  }
   return cfg;
 }
 
 inline int bench_seeds() { return bench_scale().seeds; }
+inline int bench_jobs() { return ctx().jobs; }
 
 inline void print_header(const std::string& figure, const std::string& what) {
   const SimConfig cfg = base_config();
@@ -40,6 +113,14 @@ inline void print_header(const std::string& figure, const std::string& what) {
               cfg.dragonfly.num_nodes(), static_cast<long long>(cfg.warmup),
               static_cast<long long>(cfg.measure), bench_seeds());
   std::printf("=====================================================\n");
+  JsonReport& report = ctx().report;
+  report.set_meta("figure", figure);
+  report.set_meta("what", what);
+  report.set_meta("config", cfg.summary());
+  report.set_meta("nodes", static_cast<std::int64_t>(cfg.dragonfly.num_nodes()));
+  report.set_meta("warmup", static_cast<std::int64_t>(cfg.warmup));
+  report.set_meta("measure", static_cast<std::int64_t>(cfg.measure));
+  report.set_meta("seeds", static_cast<std::int64_t>(bench_seeds()));
 }
 
 inline ExperimentSeries series(const std::string& label, SimConfig cfg) {
@@ -47,11 +128,49 @@ inline ExperimentSeries series(const std::string& label, SimConfig cfg) {
 }
 
 /// Standard progress line so long sweeps show liveness on the console.
+/// Thread-safe: the line is rendered into one buffer and written with a
+/// single stdio call (stdio locks per call), and the sweep runner
+/// additionally serialises progress invocations across workers.
 inline void progress(const std::string& label, double load,
                      const SimResult& r) {
-  std::fprintf(stderr, "  [%-28s] load=%.2f accepted=%.3f lat=%.0f%s\n",
-               label.c_str(), load, r.accepted, r.avg_latency,
-               r.deadlock ? " DEADLOCK" : "");
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "  [%-28s] load=%.2f accepted=%.3f lat=%.0f%s\n",
+                label.c_str(), load, r.accepted, r.avg_latency,
+                r.deadlock ? " DEADLOCK" : "");
+  std::fputs(line, stderr);
+}
+
+/// Runs one titled sweep on the session's worker pool, records it into the
+/// JSON report (with wall-clock), and reports the elapsed time.
+inline std::vector<SweepResult> run_recorded_sweep(
+    const std::string& title, const std::vector<ExperimentSeries>& series,
+    const std::vector<double>& loads, int seeds) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto sweeps = SweepRunner(bench_jobs()).run(series, loads, seeds, progress);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::fprintf(stderr, "  [%s] %.2fs wall on %d worker(s)\n", title.c_str(),
+               secs, bench_jobs());
+  ctx().report.add_sweep(title, sweeps, secs);
+  return sweeps;
+}
+
+/// Writes the accumulated JSON report when --json was given. Call as the
+/// last statement of main (`return write_report();`): a failed write is a
+/// nonzero exit so CI cannot silently lose a report.
+inline int write_report() {
+  if (ctx().json_path.empty()) return 0;
+  ctx().report.set_meta("jobs", static_cast<std::int64_t>(ctx().jobs));
+  ctx().report.set_meta("seeds", static_cast<std::int64_t>(bench_seeds()));
+  if (!ctx().report.write_file(ctx().json_path)) {
+    std::fprintf(stderr, "ERROR: could not write JSON report to %s\n",
+                 ctx().json_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "JSON report written to %s\n", ctx().json_path.c_str());
+  return 0;
 }
 
 }  // namespace flexnet::bench

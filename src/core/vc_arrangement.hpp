@@ -42,7 +42,11 @@ struct VcArrangement {
   /// Round-trips through parse(); e.g. "4/2+2/1".
   std::string to_string() const;
 
-  bool operator==(const VcArrangement&) const = default;
+  bool operator==(const VcArrangement& o) const {
+    return req_local == o.req_local && req_global == o.req_global &&
+           rep_local == o.rep_local && rep_global == o.rep_global &&
+           typed == o.typed;
+  }
 };
 
 }  // namespace flexnet

@@ -26,7 +26,7 @@ const char* to_string(VcSelection s) {
   return "?";
 }
 
-int select_vc(VcSelection policy, std::span<const VcCandidate> cands,
+int select_vc(VcSelection policy, const std::vector<VcCandidate>& cands,
               const std::function<int(VcIndex)>& free_phits, int needed,
               Rng& rng) {
   int best = -1;

@@ -7,8 +7,8 @@
 #pragma once
 
 #include <functional>
-#include <span>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "core/vc_policy.hpp"
@@ -29,7 +29,7 @@ const char* to_string(VcSelection s);
 /// Returns the index into `cands`, or -1 if none is feasible.
 ///
 /// `free_phits` reports the sender-side credit count for the downstream VC.
-int select_vc(VcSelection policy, std::span<const VcCandidate> cands,
+int select_vc(VcSelection policy, const std::vector<VcCandidate>& cands,
               const std::function<int(VcIndex)>& free_phits, int needed,
               Rng& rng);
 

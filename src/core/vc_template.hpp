@@ -43,7 +43,9 @@ struct VcRef {
   LinkType type = LinkType::kLocal;
   int index = 0;
 
-  bool operator==(const VcRef&) const = default;
+  bool operator==(const VcRef& o) const {
+    return cls == o.cls && type == o.type && index == o.index;
+  }
 };
 
 class VcTemplate {

@@ -1,0 +1,135 @@
+#include "runner/sweep_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "runner/thread_pool.hpp"
+
+namespace flexnet {
+
+SweepRunner::SweepRunner(int jobs) : jobs_(std::max(1, jobs)) {}
+
+SimConfig SweepRunner::job_config(const SimConfig& base, double load,
+                                  int seed_index) {
+  SimConfig cfg = base;
+  cfg.load = load;
+  cfg.seed = base.seed + static_cast<std::uint64_t>(seed_index);
+  return cfg;
+}
+
+SimResult SweepRunner::aggregate_seeds(const std::vector<SimResult>& per_seed) {
+  SimResult avg;
+  int survivors = 0;
+  for (const auto& r : per_seed)
+    if (!r.deadlock) ++survivors;
+  for (const auto& r : per_seed) {
+    avg.cycles += r.cycles;
+    if (r.deadlock) {
+      avg.deadlock = true;
+      continue;
+    }
+    avg.offered += r.offered / survivors;
+    avg.accepted += r.accepted / survivors;
+    avg.avg_latency += r.avg_latency / survivors;
+    avg.avg_hops += r.avg_hops / survivors;
+    avg.request_latency += r.request_latency / survivors;
+    avg.reply_latency += r.reply_latency / survivors;
+    avg.consumed_packets += r.consumed_packets;
+  }
+  return avg;
+}
+
+std::vector<SweepResult> SweepRunner::run(
+    const std::vector<ExperimentSeries>& series,
+    const std::vector<double>& loads, int seeds,
+    const std::function<void(const std::string&, double, const SimResult&)>&
+        progress) const {
+  const int n_seeds = std::max(1, seeds);
+  const std::size_t num_points = series.size() * loads.size();
+
+  // One result slot per (series, load, seed); jobs write only their slot.
+  std::vector<std::vector<SimResult>> per_seed(
+      num_points, std::vector<SimResult>(static_cast<std::size_t>(n_seeds)));
+
+  const auto point_index = [&](std::size_t s, std::size_t l) {
+    return s * loads.size() + l;
+  };
+
+  if (jobs_ <= 1) {
+    // Serial path: identical visiting order to the historical harness.
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      for (std::size_t l = 0; l < loads.size(); ++l) {
+        auto& slots = per_seed[point_index(s, l)];
+        for (int k = 0; k < n_seeds; ++k)
+          slots[static_cast<std::size_t>(k)] =
+              Simulator(job_config(series[s].config, loads[l], k)).run();
+        if (progress)
+          progress(series[s].label, loads[l], aggregate_seeds(slots));
+      }
+    }
+  } else {
+    // remaining[p] counts outstanding seeds of point p; the worker that
+    // finishes a point's last seed reports its progress.
+    std::vector<std::atomic<int>> remaining(num_points);
+    for (auto& r : remaining) r.store(n_seeds);
+    std::mutex progress_mu;
+
+    ThreadPool pool(jobs_);
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      for (std::size_t l = 0; l < loads.size(); ++l) {
+        const std::size_t p = point_index(s, l);
+        for (int k = 0; k < n_seeds; ++k) {
+          pool.submit([&, s, l, p, k] {
+            per_seed[p][static_cast<std::size_t>(k)] =
+                Simulator(job_config(series[s].config, loads[l], k)).run();
+            if (remaining[p].fetch_sub(1) == 1 && progress) {
+              const SimResult agg = aggregate_seeds(per_seed[p]);
+              std::lock_guard<std::mutex> lock(progress_mu);
+              progress(series[s].label, loads[l], agg);
+            }
+          });
+        }
+      }
+    }
+    pool.wait_idle();
+  }
+
+  // Deterministic reduction: grid order, never completion order.
+  std::vector<SweepResult> out;
+  out.reserve(series.size());
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    SweepResult sweep;
+    sweep.label = series[s].label;
+    for (std::size_t l = 0; l < loads.size(); ++l) {
+      SweepRow row;
+      row.load = loads[l];
+      row.result = aggregate_seeds(per_seed[point_index(s, l)]);
+      sweep.rows.push_back(row);
+    }
+    out.push_back(std::move(sweep));
+  }
+  return out;
+}
+
+SimResult SweepRunner::run_point(const SimConfig& config, int seeds) const {
+  const int n_seeds = std::max(1, seeds);
+  std::vector<SimResult> per_seed(static_cast<std::size_t>(n_seeds));
+  if (jobs_ <= 1 || n_seeds == 1) {
+    for (int k = 0; k < n_seeds; ++k)
+      per_seed[static_cast<std::size_t>(k)] =
+          Simulator(job_config(config, config.load, k)).run();
+  } else {
+    ThreadPool pool(std::min(jobs_, n_seeds));
+    for (int k = 0; k < n_seeds; ++k) {
+      pool.submit([&per_seed, &config, k] {
+        per_seed[static_cast<std::size_t>(k)] =
+            Simulator(job_config(config, config.load, k)).run();
+      });
+    }
+    pool.wait_idle();
+  }
+  return aggregate_seeds(per_seed);
+}
+
+}  // namespace flexnet

@@ -1,0 +1,59 @@
+// Parallel sweep runner: shards a (series x load x seed) grid into one
+// independent simulation job per point-seed, runs the jobs across a
+// ThreadPool, and deterministically re-aggregates per-seed results into
+// the SweepResult rows of the serial harness.
+//
+// Determinism contract: the aggregated rows are bit-identical for any
+// worker count and any job completion order. Every job writes its
+// SimResult into a pre-sized slot indexed by (series, load, seed), and
+// aggregation is a single seed-ordered reduction over those slots —
+// floating-point accumulation order therefore never depends on
+// scheduling. Only the progress callback's invocation order varies.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace flexnet {
+
+class SweepRunner {
+ public:
+  /// `jobs` worker threads; <= 1 runs everything inline on the calling
+  /// thread (the serial path).
+  explicit SweepRunner(int jobs = 1);
+
+  int jobs() const { return jobs_; }
+
+  /// Runs the full grid. `progress` (optional) is invoked once per
+  /// aggregated (series, load) point as it completes; invocations are
+  /// serialised internally, so the callback itself only needs to be
+  /// reentrant with respect to its own captured state.
+  std::vector<SweepResult> run(
+      const std::vector<ExperimentSeries>& series,
+      const std::vector<double>& loads, int seeds,
+      const std::function<void(const std::string&, double, const SimResult&)>&
+          progress = nullptr) const;
+
+  /// One aggregated point: `seeds` runs with derived seeds (base seed,
+  /// base+1, ...), sharded across the pool, reduced with aggregate_seeds.
+  SimResult run_point(const SimConfig& config, int seeds) const;
+
+  /// The per-job config: `base` at offered load `load` with the
+  /// seed_index-th derived seed.
+  static SimConfig job_config(const SimConfig& base, double load,
+                              int seed_index);
+
+  /// Seed-ordered reduction of per-seed results into the averaged point.
+  /// A deadlocked seed marks the point deadlocked and is excluded from
+  /// the offered/accepted/latency/hops averages, which are taken over the
+  /// surviving seeds only; consumed_packets and cycles stay totals.
+  static SimResult aggregate_seeds(const std::vector<SimResult>& per_seed);
+
+ private:
+  int jobs_ = 1;
+};
+
+}  // namespace flexnet

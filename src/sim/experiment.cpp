@@ -5,16 +5,23 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "runner/sweep_runner.hpp"
+#include "runner/thread_pool.hpp"
+
 namespace flexnet {
 
 double SweepResult::max_accepted() const {
+  // Deadlocked points are excluded: their (surviving-seed) partial
+  // throughput must not be reported as the configuration's maximum.
   double best = 0.0;
-  for (const auto& row : rows) best = std::max(best, row.result.accepted);
+  for (const auto& row : rows)
+    if (!row.result.deadlock) best = std::max(best, row.result.accepted);
   return best;
 }
 
 double SweepResult::saturation_accepted() const {
-  return rows.empty() ? 0.0 : rows.back().result.accepted;
+  if (rows.empty() || rows.back().result.deadlock) return 0.0;
+  return rows.back().result.accepted;
 }
 
 std::vector<SweepResult> run_load_sweep(
@@ -22,23 +29,8 @@ std::vector<SweepResult> run_load_sweep(
     const std::vector<double>& loads, int seeds,
     const std::function<void(const std::string&, double, const SimResult&)>&
         progress) {
-  std::vector<SweepResult> out;
-  out.reserve(series.size());
-  for (const auto& s : series) {
-    SweepResult sweep;
-    sweep.label = s.label;
-    for (double load : loads) {
-      SimConfig cfg = s.config;
-      cfg.load = load;
-      SweepRow row;
-      row.load = load;
-      row.result = run_averaged(cfg, seeds);
-      if (progress) progress(s.label, load, row.result);
-      sweep.rows.push_back(row);
-    }
-    out.push_back(std::move(sweep));
-  }
-  return out;
+  return SweepRunner(ThreadPool::default_jobs())
+      .run(series, loads, seeds, progress);
 }
 
 std::vector<double> load_points(double lo, double hi, int count) {

@@ -25,16 +25,22 @@ struct SweepResult {
   std::string label;
   std::vector<SweepRow> rows;
 
-  /// Maximum accepted load over the sweep (the paper's "maximum
-  /// throughput" metric of Figs 6/9/11).
+  /// Maximum accepted load over the non-deadlocked points of the sweep
+  /// (the paper's "maximum throughput" metric of Figs 6/9/11). A point
+  /// whose aggregate is deadlock-marked never contributes, even though it
+  /// may carry a partial surviving-seed average.
   double max_accepted() const;
 
-  /// Accepted load at the highest offered load (saturation throughput).
+  /// Accepted load at the highest offered load (saturation throughput);
+  /// zero when that point deadlocked.
   double saturation_accepted() const;
 };
 
 /// Runs `series` over the offered loads, averaging `seeds` seeds per point.
-/// `progress` (optional) is invoked after each point for console feedback.
+/// The grid is sharded per (series, load, seed) across FLEXNET_JOBS worker
+/// threads (default 1 — serial); results are bit-identical for any worker
+/// count. `progress` (optional) is invoked after each point for console
+/// feedback; invocations are serialised by the runner.
 std::vector<SweepResult> run_load_sweep(
     const std::vector<ExperimentSeries>& series,
     const std::vector<double>& loads, int seeds,

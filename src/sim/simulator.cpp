@@ -1,6 +1,8 @@
 #include "sim/simulator.hpp"
 
 #include "common/log.hpp"
+#include "runner/sweep_runner.hpp"
+#include "runner/thread_pool.hpp"
 
 namespace flexnet {
 
@@ -49,25 +51,7 @@ SimResult Simulator::run() {
 }
 
 SimResult run_averaged(const SimConfig& config, int seeds) {
-  SimResult avg;
-  for (int s = 0; s < seeds; ++s) {
-    SimConfig cfg = config;
-    cfg.seed = config.seed + static_cast<std::uint64_t>(s);
-    SimResult r = Simulator(cfg).run();
-    if (r.deadlock) {
-      avg.deadlock = true;
-      return avg;
-    }
-    avg.offered += r.offered / seeds;
-    avg.accepted += r.accepted / seeds;
-    avg.avg_latency += r.avg_latency / seeds;
-    avg.avg_hops += r.avg_hops / seeds;
-    avg.request_latency += r.request_latency / seeds;
-    avg.reply_latency += r.reply_latency / seeds;
-    avg.consumed_packets += r.consumed_packets;
-    avg.cycles += r.cycles;
-  }
-  return avg;
+  return SweepRunner(ThreadPool::default_jobs()).run_point(config, seeds);
 }
 
 }  // namespace flexnet

@@ -1,0 +1,285 @@
+// The parallel sweep-runner subsystem: ThreadPool execution/joining,
+// bit-identical multi-threaded sweeps, deterministic deadlock-aware seed
+// aggregation, and the JSON report writer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "runner/json_report.hpp"
+#include "runner/sweep_runner.hpp"
+#include "runner/thread_pool.hpp"
+
+namespace flexnet {
+namespace {
+
+// --- ThreadPool.
+
+TEST(ThreadPool, ExecutesEveryJobAndWaitsIdle) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+  // The pool stays usable after an idle barrier.
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 101);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingJobs) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&count] { count.fetch_add(1); });
+    // No wait_idle: ~ThreadPool must run every submitted job before joining.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, RunsJobsConcurrently) {
+  // Two jobs that each block until the other has started can only finish
+  // when two workers run them at the same time.
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  int started = 0;
+  for (int i = 0; i < 2; ++i) {
+    pool.submit([&] {
+      std::unique_lock<std::mutex> lock(mu);
+      ++started;
+      cv.notify_all();
+      cv.wait(lock, [&] { return started == 2; });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(started, 2);
+}
+
+TEST(ThreadPool, ClampsWorkerCountToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+// --- SweepRunner determinism.
+
+bool identical(const SimResult& a, const SimResult& b) {
+  return a.offered == b.offered && a.accepted == b.accepted &&
+         a.avg_latency == b.avg_latency && a.avg_hops == b.avg_hops &&
+         a.request_latency == b.request_latency &&
+         a.reply_latency == b.reply_latency &&
+         a.consumed_packets == b.consumed_packets &&
+         a.deadlock == b.deadlock && a.cycles == b.cycles;
+}
+
+TEST(SweepRunner, MultiThreadedSweepBitIdenticalToSerial) {
+  SimConfig base;
+  base.warmup = 500;
+  base.measure = 1000;
+  std::vector<ExperimentSeries> series;
+  series.push_back({"baseline", base});
+  SimConfig flex = base;
+  flex.policy = "flexvc";
+  flex.vcs = "4/2";
+  series.push_back({"flexvc", flex});
+  const std::vector<double> loads = {0.1, 0.3, 0.5};
+
+  const auto serial = SweepRunner(1).run(series, loads, /*seeds=*/2);
+  const auto parallel = SweepRunner(4).run(series, loads, /*seeds=*/2);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t s = 0; s < serial.size(); ++s) {
+    EXPECT_EQ(serial[s].label, parallel[s].label);
+    ASSERT_EQ(serial[s].rows.size(), parallel[s].rows.size());
+    for (std::size_t r = 0; r < serial[s].rows.size(); ++r) {
+      EXPECT_EQ(serial[s].rows[r].load, parallel[s].rows[r].load);
+      EXPECT_TRUE(
+          identical(serial[s].rows[r].result, parallel[s].rows[r].result))
+          << "series " << s << " row " << r;
+    }
+  }
+  // The sweep actually simulated something.
+  EXPECT_GT(serial[0].rows[0].result.consumed_packets, 0);
+}
+
+TEST(SweepRunner, RunPointMatchesAcrossWorkerCounts) {
+  SimConfig cfg;
+  cfg.warmup = 500;
+  cfg.measure = 1000;
+  cfg.load = 0.4;
+  const SimResult serial = SweepRunner(1).run_point(cfg, 3);
+  const SimResult parallel = SweepRunner(4).run_point(cfg, 3);
+  EXPECT_TRUE(identical(serial, parallel));
+  EXPECT_NEAR(serial.accepted, 0.4, 0.03);
+}
+
+TEST(SweepRunner, ProgressReportsEveryPointOnce) {
+  SimConfig cfg;
+  cfg.warmup = 200;
+  cfg.measure = 400;
+  std::mutex mu;
+  int calls = 0;
+  const auto progress = [&](const std::string&, double, const SimResult&) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++calls;
+  };
+  SweepRunner(3).run({{"a", cfg}, {"b", cfg}}, {0.1, 0.2}, 2, progress);
+  EXPECT_EQ(calls, 4);  // 2 series x 2 loads, regardless of seeds
+}
+
+TEST(SweepRunner, JobConfigDerivesSeedAndLoad) {
+  SimConfig base;
+  base.seed = 7;
+  const SimConfig job = SweepRunner::job_config(base, 0.65, 3);
+  EXPECT_DOUBLE_EQ(job.load, 0.65);
+  EXPECT_EQ(job.seed, 10u);
+}
+
+// --- Deadlock-aware aggregation (regression: a deadlocked seed marks the
+// point deadlocked and is excluded from the averages).
+
+SimResult fake_result(double accepted, double latency, bool deadlock = false) {
+  SimResult r;
+  r.offered = accepted;
+  r.accepted = accepted;
+  r.avg_latency = latency;
+  r.avg_hops = 3.0;
+  r.consumed_packets = 100;
+  r.cycles = 1000;
+  r.deadlock = deadlock;
+  return r;
+}
+
+TEST(SweepRunner, DeadlockedSeedExcludedFromAverages) {
+  const std::vector<SimResult> per_seed = {
+      fake_result(0.5, 100.0),
+      fake_result(0.0, 0.0, /*deadlock=*/true),
+      fake_result(0.7, 200.0),
+  };
+  const SimResult agg = SweepRunner::aggregate_seeds(per_seed);
+  EXPECT_TRUE(agg.deadlock);
+  // Averages over the two surviving seeds only.
+  EXPECT_DOUBLE_EQ(agg.accepted, 0.5 / 2 + 0.7 / 2);
+  EXPECT_DOUBLE_EQ(agg.avg_latency, 100.0 / 2 + 200.0 / 2);
+  EXPECT_EQ(agg.consumed_packets, 200);
+}
+
+TEST(SweepRunner, AllSeedsDeadlockedYieldsZeroedDeadlockPoint) {
+  const std::vector<SimResult> per_seed = {
+      fake_result(0.0, 0.0, true),
+      fake_result(0.0, 0.0, true),
+  };
+  const SimResult agg = SweepRunner::aggregate_seeds(per_seed);
+  EXPECT_TRUE(agg.deadlock);
+  EXPECT_DOUBLE_EQ(agg.accepted, 0.0);
+  EXPECT_DOUBLE_EQ(agg.avg_latency, 0.0);
+}
+
+TEST(SweepResult, MaximaExcludeDeadlockedPoints) {
+  SweepResult sweep;
+  SweepRow row;
+  row.load = 0.5;
+  row.result = fake_result(0.4, 100.0);
+  sweep.rows.push_back(row);
+  // Deadlocked point carrying a high surviving-seed partial average: it
+  // must not become the reported maximum, and a deadlocked saturation
+  // point reports zero.
+  row.load = 1.0;
+  row.result = fake_result(0.9, 50.0, /*deadlock=*/true);
+  sweep.rows.push_back(row);
+  EXPECT_DOUBLE_EQ(sweep.max_accepted(), 0.4);
+  EXPECT_DOUBLE_EQ(sweep.saturation_accepted(), 0.0);
+}
+
+TEST(SweepRunner, CleanSeedsDoNotMarkDeadlock) {
+  const std::vector<SimResult> per_seed = {fake_result(0.5, 100.0),
+                                           fake_result(0.5, 120.0)};
+  const SimResult agg = SweepRunner::aggregate_seeds(per_seed);
+  EXPECT_FALSE(agg.deadlock);
+  EXPECT_DOUBLE_EQ(agg.avg_latency, 110.0);
+}
+
+// --- JSON report.
+
+std::vector<SweepResult> sample_sweeps() {
+  SweepResult sweep;
+  sweep.label = "FlexVC 4/2";
+  SweepRow row;
+  row.load = 0.25;
+  row.result = fake_result(0.25, 150.0);
+  sweep.rows.push_back(row);
+  row.load = 0.5;
+  row.result = fake_result(0.0, 0.0, /*deadlock=*/true);
+  sweep.rows.push_back(row);
+  return {sweep};
+}
+
+TEST(JsonReport, EmitsExpectedKeysAndValues) {
+  JsonReport report;
+  report.set_meta("config", "dragonfly \"tiny\"");
+  report.set_meta("jobs", static_cast<std::int64_t>(4));
+  report.add_sweep("Fig X", sample_sweeps(), 1.5);
+  const std::string doc = report.to_json();
+
+  EXPECT_NE(doc.find("\"config\": \"dragonfly \\\"tiny\\\"\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"jobs\": 4"), std::string::npos);
+  EXPECT_NE(doc.find("\"title\": \"Fig X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"wall_seconds\": 1.5"), std::string::npos);
+  EXPECT_NE(doc.find("\"label\": \"FlexVC 4/2\""), std::string::npos);
+  EXPECT_NE(doc.find("\"load\": 0.25"), std::string::npos);
+  EXPECT_NE(doc.find("\"accepted\": 0.25"), std::string::npos);
+  EXPECT_NE(doc.find("\"latency\": 150"), std::string::npos);
+  EXPECT_NE(doc.find("\"consumed_packets\": 100"), std::string::npos);
+  EXPECT_NE(doc.find("\"deadlock\": true"), std::string::npos);
+  EXPECT_NE(doc.find("\"deadlock\": false"), std::string::npos);
+  EXPECT_NE(doc.find("\"max_accepted\": 0.25"), std::string::npos);
+}
+
+TEST(JsonReport, WriteFileRoundTripsDocument) {
+  JsonReport report;
+  report.set_meta("seeds", static_cast<std::int64_t>(2));
+  report.add_sweep("roundtrip", sample_sweeps(), 0.1);
+
+  const std::string path = ::testing::TempDir() + "flexnet_report.json";
+  ASSERT_TRUE(report.write_file(path));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), report.to_json());
+  std::remove(path.c_str());
+}
+
+TEST(JsonReport, EscapingAndNumbers) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(json_number(0.5), "0.5");
+  EXPECT_EQ(json_number(std::nan("")), "null");
+  // Round-trip precision: parsing the rendered number recovers the value.
+  const double v = 0.1 + 0.2;
+  EXPECT_EQ(std::stod(json_number(v)), v);
+}
+
+TEST(JsonReport, MetaOverwritesSameKey) {
+  JsonReport report;
+  report.set_meta("jobs", static_cast<std::int64_t>(1));
+  report.set_meta("jobs", static_cast<std::int64_t>(8));
+  const std::string doc = report.to_json();
+  EXPECT_NE(doc.find("\"jobs\": 8"), std::string::npos);
+  EXPECT_EQ(doc.find("\"jobs\": 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flexnet
