@@ -8,10 +8,16 @@
 // identical microarchitecture (Table V) so the full suite runs on one core;
 // set FLEXNET_SCALE=h4 or h8 and FLEXNET_SEEDS/FLEXNET_MEASURE to scale up.
 //
-// Parallelism and reporting:
-//   --jobs N  (or FLEXNET_JOBS=N, or jobs=N)   worker threads for sweeps
-//   --json P  (or json=P)                      write a JSON report to P
-// Results are bit-identical for any worker count (see SweepRunner).
+// Parallelism, reporting, and checkpointing:
+//   --jobs N        (or FLEXNET_JOBS=N, or jobs=N)  worker threads
+//   --json P        (or json=P)                     write a JSON report to P
+//   --checkpoint P  (or checkpoint=P)               journal each completed
+//       job to P and resume an interrupted run from it; a bench with
+//       several sweeps journals the n-th (n >= 2) into P.sweep<n>. The
+//       journal is validated against the sweep grid (fingerprint of every
+//       config field, labels, loads, seeds) — a mismatch aborts the bench.
+// Results are bit-identical for any worker count, resumed or not (see
+// SweepRunner and runner/checkpoint.hpp).
 #pragma once
 
 #include <algorithm>
@@ -22,6 +28,7 @@
 #include <vector>
 
 #include "common/options.hpp"
+#include "runner/checkpoint.hpp"
 #include "runner/json_report.hpp"
 #include "runner/sweep_runner.hpp"
 #include "runner/thread_pool.hpp"
@@ -29,11 +36,14 @@
 
 namespace flexnet::bench {
 
-/// Per-process bench session: worker count, optional JSON report sink, and
-/// the base config echoed into the report meta.
+/// Per-process bench session: worker count, optional JSON report sink and
+/// checkpoint journal base path, and the base config echoed into the
+/// report meta.
 struct BenchContext {
   int jobs = ThreadPool::default_jobs();
   std::string json_path;
+  std::string checkpoint_path;
+  int sweeps_run = 0;  ///< ordinal for per-sweep checkpoint journal names
   JsonReport report;
 };
 
@@ -78,6 +88,8 @@ inline SimConfig base_config(int argc = 0, const char* const* argv = nullptr) {
         ctx().jobs = std::max(1, std::atoi(value.c_str()));
       } else if (flag_value("json", &value)) {
         ctx().json_path = value;
+      } else if (flag_value("checkpoint", &value)) {
+        ctx().checkpoint_path = value;
       } else {
         rest.push_back(argv[i]);
       }
@@ -87,6 +99,8 @@ inline SimConfig base_config(int argc = 0, const char* const* argv = nullptr) {
     if (opts.has("jobs"))
       ctx().jobs = std::max(1, static_cast<int>(opts.get_int("jobs", 1)));
     if (opts.has("json")) ctx().json_path = opts.get("json", "");
+    if (opts.has("checkpoint"))
+      ctx().checkpoint_path = opts.get("checkpoint", "");
     cfg.apply(opts);
     // print_header runs before the command line is parsed; re-stamp the
     // report meta so the JSON reflects the overridden config.
@@ -141,13 +155,34 @@ inline void progress(const std::string& label, double load,
   std::fputs(line, stderr);
 }
 
+/// Journal path for the n-th (1-based) checkpointed sweep of this bench:
+/// the base path for the first sweep, `<base>.sweep<n>` after that, so a
+/// multi-sweep bench resumes every sweep independently. Deterministic
+/// because benches run their sweeps in a fixed order.
+inline std::string checkpoint_path_for_sweep(const std::string& base,
+                                             int ordinal) {
+  if (base.empty() || ordinal <= 1) return base;
+  return base + ".sweep" + std::to_string(ordinal);
+}
+
 /// Runs one titled sweep on the session's worker pool, records it into the
-/// JSON report (with wall-clock), and reports the elapsed time.
+/// JSON report (with wall-clock), and reports the elapsed time. With
+/// --checkpoint, completed jobs are journaled and a rerun resumes from the
+/// journal; a journal/grid mismatch aborts the bench (exit 1).
 inline std::vector<SweepResult> run_recorded_sweep(
     const std::string& title, const std::vector<ExperimentSeries>& series,
     const std::vector<double>& loads, int seeds) {
   const auto t0 = std::chrono::steady_clock::now();
-  auto sweeps = SweepRunner(bench_jobs()).run(series, loads, seeds, progress);
+  SweepRunner runner(bench_jobs());
+  runner.set_checkpoint(
+      checkpoint_path_for_sweep(ctx().checkpoint_path, ++ctx().sweeps_run));
+  std::vector<SweepResult> sweeps;
+  try {
+    sweeps = runner.run(series, loads, seeds, progress);
+  } catch (const CheckpointError& e) {
+    std::fprintf(stderr, "ERROR: %s\n", e.what());
+    std::exit(1);
+  }
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -164,6 +199,8 @@ inline int write_report() {
   if (ctx().json_path.empty()) return 0;
   ctx().report.set_meta("jobs", static_cast<std::int64_t>(ctx().jobs));
   ctx().report.set_meta("seeds", static_cast<std::int64_t>(bench_seeds()));
+  if (!ctx().checkpoint_path.empty())
+    ctx().report.set_meta("checkpoint", ctx().checkpoint_path);
   if (!ctx().report.write_file(ctx().json_path)) {
     std::fprintf(stderr, "ERROR: could not write JSON report to %s\n",
                  ctx().json_path.c_str());

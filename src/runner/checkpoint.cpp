@@ -1,0 +1,283 @@
+#include "runner/checkpoint.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace flexnet {
+
+std::uint64_t fnv1a64(const char* data, std::size_t size,
+                      std::uint64_t basis) {
+  std::uint64_t h = basis;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+namespace {
+
+std::string hex_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+
+/// Splits a line on single spaces (the journal never emits empty fields).
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    const std::size_t space = line.find(' ', start);
+    if (space == std::string::npos) {
+      out.push_back(line.substr(start));
+      break;
+    }
+    out.push_back(line.substr(start, space - start));
+    start = space + 1;
+  }
+  return out;
+}
+
+/// True when `line` ends in a space-separated checksum matching the bytes
+/// before it. The final field of every journal line is fnv1a64 of
+/// everything preceding its separating space.
+bool checksum_ok(const std::string& line) {
+  const std::size_t last_space = line.rfind(' ');
+  if (last_space == std::string::npos ||
+      line.size() - last_space - 1 != 16) {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const std::uint64_t stored =
+      std::strtoull(line.c_str() + last_space + 1, &end, 16);
+  if (errno != 0 || end != line.c_str() + line.size()) return false;
+  return stored ==
+         ::flexnet::fnv1a64(line.data(), last_space, 14695981039346656037ull);
+}
+
+std::string strip_checksum(const std::string& line) {
+  return line.substr(0, line.rfind(' '));
+}
+
+bool parse_double(const std::string& s, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size() && !s.empty();
+}
+
+bool parse_i64(const std::string& s, long long* out) {
+  char* end = nullptr;
+  errno = 0;
+  *out = std::strtoll(s.c_str(), &end, 10);
+  return errno == 0 && end == s.c_str() + s.size() && !s.empty();
+}
+
+/// Parses a checksum-stripped "R ..." body; false on malformed fields.
+bool parse_record_body(const std::string& body, CheckpointRecord* rec) {
+  const std::vector<std::string> f = split_fields(body);
+  if (f.size() != 12 || f[0] != "R") return false;
+  long long point = 0, seed = 0, consumed = 0, deadlock = 0, cycles = 0;
+  if (!parse_i64(f[1], &point) || point < 0) return false;
+  if (!parse_i64(f[2], &seed) || seed < 0) return false;
+  SimResult r;
+  if (!parse_double(f[3], &r.offered) || !parse_double(f[4], &r.accepted) ||
+      !parse_double(f[5], &r.avg_latency) ||
+      !parse_double(f[6], &r.avg_hops) ||
+      !parse_double(f[7], &r.request_latency) ||
+      !parse_double(f[8], &r.reply_latency)) {
+    return false;
+  }
+  if (!parse_i64(f[9], &consumed)) return false;
+  if (!parse_i64(f[10], &deadlock) || (deadlock != 0 && deadlock != 1))
+    return false;
+  if (!parse_i64(f[11], &cycles)) return false;
+  r.consumed_packets = consumed;
+  r.deadlock = deadlock != 0;
+  r.cycles = cycles;
+  rec->point = static_cast<std::size_t>(point);
+  rec->seed = static_cast<int>(seed);
+  rec->result = r;
+  return true;
+}
+
+std::string header_body(std::uint64_t fingerprint, std::size_t points,
+                        int seeds) {
+  std::ostringstream out;
+  out << "flexnet-checkpoint v1 fp=" << hex_u64(fingerprint)
+      << " points=" << points << " seeds=" << seeds;
+  return out.str();
+}
+
+}  // namespace
+
+std::uint64_t grid_fingerprint(const std::vector<ExperimentSeries>& series,
+                               const std::vector<double>& loads, int seeds) {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](const std::string& s) {
+    h = ::flexnet::fnv1a64(s.data(), s.size() + 1, h);  // +1: '\0' delimiter
+  };
+  for (const auto& s : series) {
+    mix(s.label);
+    mix(s.config.canonical());
+  }
+  for (double load : loads) mix(hex_double(load));
+  mix("seeds=" + std::to_string(seeds));
+  return h;
+}
+
+std::vector<CheckpointRecord> CheckpointJournal::open(
+    std::uint64_t fingerprint, std::size_t points, int seeds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr)
+    throw CheckpointError("checkpoint journal already open: " + path_);
+
+  const std::string expected_header = header_body(fingerprint, points, seeds);
+
+  std::string text;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      text = buf.str();
+    }
+  }
+
+  std::vector<CheckpointRecord> records;
+  std::size_t valid_bytes = 0;  // byte length of the intact line prefix
+  bool have_header = false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const bool complete = nl != std::string::npos;
+    const std::string line =
+        text.substr(pos, complete ? nl - pos : std::string::npos);
+    const bool last_line = !complete || nl + 1 >= text.size();
+    const char* torn_note =
+        "flexnet checkpoint: torn trailing record in %s (%s); truncating "
+        "and re-running the interrupted job\n";
+
+    if (!complete || !checksum_ok(line)) {
+      // An intact journal can only be damaged at its very end (a write cut
+      // short by a crash). A bad line anywhere earlier — including a bad
+      // *first* line, which makes this some other file entirely (a typo'd
+      // --checkpoint path must never destroy user data) — means the file
+      // is not a journal for this grid: refuse to guess.
+      if (last_line && have_header) {
+        std::fprintf(stderr, torn_note, path_.c_str(),
+                     complete ? "checksum mismatch" : "no trailing newline");
+        break;
+      }
+      throw CheckpointError(
+          have_header
+              ? "corrupt checkpoint journal (bad line " +
+                    std::to_string(records.size() + 2) + "): " + path_
+              : "existing file " + path_ +
+                    " is not a checkpoint journal; refusing to overwrite "
+                    "it — delete it or pass a different --checkpoint path");
+    }
+
+    const std::string body = strip_checksum(line);
+    if (!have_header) {
+      if (body != expected_header) {
+        throw CheckpointError(
+            "checkpoint journal " + path_ +
+            " does not match this sweep grid (header \"" + body +
+            "\", expected \"" + expected_header +
+            "\"); refusing to reuse results — delete the journal or fix "
+            "the grid/config");
+      }
+      have_header = true;
+    } else {
+      CheckpointRecord rec;
+      if (!parse_record_body(body, &rec) || rec.point >= points ||
+          rec.seed >= seeds) {
+        throw CheckpointError("corrupt checkpoint record (line " +
+                              std::to_string(records.size() + 2) + "): " +
+                              path_);
+      }
+      records.push_back(rec);
+    }
+    valid_bytes = nl + 1;
+    pos = nl + 1;
+  }
+
+  if (valid_bytes < text.size())
+    std::filesystem::resize_file(path_, valid_bytes);
+
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr)
+    throw CheckpointError("cannot open checkpoint journal for append: " +
+                          path_);
+  if (!have_header) {
+    write_line(expected_header);
+    flush_locked();
+  }
+  return records;
+}
+
+void CheckpointJournal::write_line(const std::string& body) {
+  const std::string line =
+      body + " " +
+      hex_u64(fnv1a64(body.data(), body.size(), 14695981039346656037ull)) +
+      "\n";
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    failed_ = true;
+    std::fprintf(stderr,
+                 "flexnet checkpoint: write to %s failed (%s); further "
+                 "progress will not be journaled\n",
+                 path_.c_str(), std::strerror(errno));
+  }
+}
+
+void CheckpointJournal::append(std::size_t point, int seed,
+                               const SimResult& r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr || failed_) return;
+  std::ostringstream body;
+  body << "R " << point << ' ' << seed << ' ' << hex_double(r.offered) << ' '
+       << hex_double(r.accepted) << ' ' << hex_double(r.avg_latency) << ' '
+       << hex_double(r.avg_hops) << ' ' << hex_double(r.request_latency)
+       << ' ' << hex_double(r.reply_latency) << ' ' << r.consumed_packets
+       << ' ' << (r.deadlock ? 1 : 0) << ' '
+       << static_cast<long long>(r.cycles);
+  write_line(body.str());
+  if (++unsynced_ >= kFsyncBatch) flush_locked();
+}
+
+void CheckpointJournal::flush_locked() {
+  if (file_ == nullptr) return;
+  std::fflush(file_);
+  ::fsync(::fileno(file_));
+  unsynced_ = 0;
+}
+
+void CheckpointJournal::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_locked();
+}
+
+void CheckpointJournal::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  flush_locked();
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+}  // namespace flexnet

@@ -2,13 +2,20 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <mutex>
 
+#include "runner/checkpoint.hpp"
 #include "runner/thread_pool.hpp"
 
 namespace flexnet {
 
 SweepRunner::SweepRunner(int jobs) : jobs_(std::max(1, jobs)) {}
+
+SweepRunner& SweepRunner::set_checkpoint(std::string path) {
+  checkpoint_path_ = std::move(path);
+  return *this;
+}
 
 SimConfig SweepRunner::job_config(const SimConfig& base, double load,
                                   int seed_index) {
@@ -51,19 +58,41 @@ std::vector<SweepResult> SweepRunner::run(
   // One result slot per (series, load, seed); jobs write only their slot.
   std::vector<std::vector<SimResult>> per_seed(
       num_points, std::vector<SimResult>(static_cast<std::size_t>(n_seeds)));
+  // done[p][k]: slot pre-filled from the checkpoint journal, skip its job.
+  std::vector<std::vector<char>> done(
+      num_points, std::vector<char>(static_cast<std::size_t>(n_seeds), 0));
 
   const auto point_index = [&](std::size_t s, std::size_t l) {
     return s * loads.size() + l;
   };
 
+  // Resume: pre-fill completed slots from the journal (fingerprint
+  // validated inside open — a journal for a different grid throws) and
+  // journal every job completed from here on.
+  std::unique_ptr<CheckpointJournal> journal;
+  if (!checkpoint_path_.empty()) {
+    journal = std::make_unique<CheckpointJournal>(checkpoint_path_);
+    const auto records = journal->open(
+        grid_fingerprint(series, loads, n_seeds), num_points, n_seeds);
+    for (const auto& rec : records) {
+      per_seed[rec.point][static_cast<std::size_t>(rec.seed)] = rec.result;
+      done[rec.point][static_cast<std::size_t>(rec.seed)] = 1;
+    }
+  }
+
   if (jobs_ <= 1) {
     // Serial path: identical visiting order to the historical harness.
     for (std::size_t s = 0; s < series.size(); ++s) {
       for (std::size_t l = 0; l < loads.size(); ++l) {
-        auto& slots = per_seed[point_index(s, l)];
-        for (int k = 0; k < n_seeds; ++k)
+        const std::size_t p = point_index(s, l);
+        auto& slots = per_seed[p];
+        for (int k = 0; k < n_seeds; ++k) {
+          if (done[p][static_cast<std::size_t>(k)]) continue;
           slots[static_cast<std::size_t>(k)] =
               Simulator(job_config(series[s].config, loads[l], k)).run();
+          if (journal)
+            journal->append(p, k, slots[static_cast<std::size_t>(k)]);
+        }
         if (progress)
           progress(series[s].label, loads[l], aggregate_seeds(slots));
       }
@@ -72,17 +101,33 @@ std::vector<SweepResult> SweepRunner::run(
     // remaining[p] counts outstanding seeds of point p; the worker that
     // finishes a point's last seed reports its progress.
     std::vector<std::atomic<int>> remaining(num_points);
-    for (auto& r : remaining) r.store(n_seeds);
     std::mutex progress_mu;
 
     ThreadPool pool(jobs_);
     for (std::size_t s = 0; s < series.size(); ++s) {
       for (std::size_t l = 0; l < loads.size(); ++l) {
         const std::size_t p = point_index(s, l);
+        int missing = 0;
+        for (int k = 0; k < n_seeds; ++k)
+          if (!done[p][static_cast<std::size_t>(k)]) ++missing;
+        remaining[p].store(missing);
+        if (missing == 0) {
+          // Point fully restored from the journal: report it directly —
+          // parallel-mode progress order is unspecified anyway.
+          if (progress) {
+            const SimResult agg = aggregate_seeds(per_seed[p]);
+            std::lock_guard<std::mutex> lock(progress_mu);
+            progress(series[s].label, loads[l], agg);
+          }
+          continue;
+        }
         for (int k = 0; k < n_seeds; ++k) {
+          if (done[p][static_cast<std::size_t>(k)]) continue;
           pool.submit([&, s, l, p, k] {
             per_seed[p][static_cast<std::size_t>(k)] =
                 Simulator(job_config(series[s].config, loads[l], k)).run();
+            if (journal)
+              journal->append(p, k, per_seed[p][static_cast<std::size_t>(k)]);
             if (remaining[p].fetch_sub(1) == 1 && progress) {
               const SimResult agg = aggregate_seeds(per_seed[p]);
               std::lock_guard<std::mutex> lock(progress_mu);
@@ -94,6 +139,7 @@ std::vector<SweepResult> SweepRunner::run(
     }
     pool.wait_idle();
   }
+  if (journal) journal->close();
 
   // Deterministic reduction: grid order, never completion order.
   std::vector<SweepResult> out;

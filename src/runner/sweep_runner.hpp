@@ -27,6 +27,19 @@ class SweepRunner {
 
   int jobs() const { return jobs_; }
 
+  /// Journals every completed job of subsequent run() calls to `path`
+  /// (see runner/checkpoint.hpp) and, when the journal already holds
+  /// results for the *same* grid, resumes: completed jobs are pre-filled
+  /// from the journal and only the remainder is simulated. A journal for
+  /// a different grid (changed config, loads, labels, or seed count) is a
+  /// hard CheckpointError, never silent reuse. Resumed sweeps aggregate
+  /// through the same seed-ordered reduction, so their rows are
+  /// bit-identical to an uninterrupted run at any worker count. An empty
+  /// path disables checkpointing (the default).
+  SweepRunner& set_checkpoint(std::string path);
+
+  const std::string& checkpoint_path() const { return checkpoint_path_; }
+
   /// Runs the full grid. `progress` (optional) is invoked once per
   /// aggregated (series, load) point as it completes; invocations are
   /// serialised internally, so the callback itself only needs to be
@@ -54,6 +67,7 @@ class SweepRunner {
 
  private:
   int jobs_ = 1;
+  std::string checkpoint_path_;
 };
 
 }  // namespace flexnet

@@ -1,5 +1,6 @@
 #include "sim/config.hpp"
 
+#include <cstdio>
 #include <sstream>
 
 namespace flexnet {
@@ -53,6 +54,42 @@ void SimConfig::apply(const Options& o) {
   measure = o.get_int("measure", measure);
   seed = static_cast<std::uint64_t>(o.get_int("seed", static_cast<std::int64_t>(seed)));
   watchdog = o.get_int("watchdog", watchdog);
+}
+
+std::string SimConfig::canonical() const {
+  const auto hex = [](double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return std::string(buf);
+  };
+  std::ostringstream out;
+  out << "topology=" << topology << ";df=" << dragonfly.p << ','
+      << dragonfly.a << ',' << dragonfly.h << ";fb=" << fb.p << ',' << fb.a
+      << ";sf=" << slimfly.p << ',' << slimfly.q << ";vcs=" << vcs
+      << ";policy=" << policy << ";vc_selection=" << vc_selection
+      << ";local_buffer=" << local_buffer_per_vc
+      << ";global_buffer=" << global_buffer_per_vc
+      << ";injection_buffer=" << injection_buffer_per_vc
+      << ";output_buffer=" << output_buffer
+      << ";local_port_capacity=" << local_port_capacity
+      << ";global_port_capacity=" << global_port_capacity
+      << ";buffer_org=" << buffer_org
+      << ";damq_private_fraction=" << hex(damq_private_fraction)
+      << ";speedup=" << speedup << ";alloc_iters=" << alloc_iters
+      << ";pipeline_latency=" << pipeline_latency
+      << ";injection_vcs=" << injection_vcs
+      << ";local_latency=" << local_latency
+      << ";global_latency=" << global_latency << ";routing=" << routing
+      << ";pb_per_vc=" << pb_per_vc << ";mincred=" << mincred
+      << ";threshold=" << adaptive_threshold << ";traffic=" << traffic
+      << ";reactive=" << reactive << ";load=" << hex(load)
+      << ";burst_length=" << hex(burst_length)
+      << ";adv_offset=" << adversarial_offset
+      << ";reply_queue=" << reply_queue_capacity
+      << ";packet_size=" << packet_size << ";warmup=" << warmup
+      << ";measure=" << measure << ";seed=" << seed
+      << ";watchdog=" << watchdog;
+  return out.str();
 }
 
 std::string SimConfig::summary() const {

@@ -74,6 +74,13 @@ struct SimConfig {
   void apply(const Options& opts);
 
   std::string summary() const;
+
+  /// Canonical serialization of *every* field in a fixed order, with
+  /// doubles rendered exactly (hexfloat). Two configs with equal canonical
+  /// strings run identical simulations; the checkpoint journal fingerprints
+  /// sweep grids over this string, so any new SimConfig field must be
+  /// appended here or resumed sweeps could silently reuse stale results.
+  std::string canonical() const;
 };
 
 }  // namespace flexnet

@@ -1,17 +1,23 @@
 // The parallel sweep-runner subsystem: ThreadPool execution/joining,
 // bit-identical multi-threaded sweeps, deterministic deadlock-aware seed
-// aggregation, and the JSON report writer.
+// aggregation, and the JSON report writer (round-tripped through the
+// in-tree JSON parser).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <limits>
 #include <mutex>
+#include <random>
 #include <sstream>
 #include <thread>
 
+#include "runner/json_parser.hpp"
 #include "runner/json_report.hpp"
 #include "runner/sweep_runner.hpp"
 #include "runner/thread_pool.hpp"
@@ -212,6 +218,102 @@ TEST(SweepRunner, CleanSeedsDoNotMarkDeadlock) {
   EXPECT_DOUBLE_EQ(agg.avg_latency, 110.0);
 }
 
+// --- Determinism properties of the seed-ordered reduction.
+
+bool bitwise_identical(const SimResult& a, const SimResult& b) {
+  const auto deq = [](double x, double y) {
+    return std::memcmp(&x, &y, sizeof(double)) == 0;
+  };
+  return deq(a.offered, b.offered) && deq(a.accepted, b.accepted) &&
+         deq(a.avg_latency, b.avg_latency) && deq(a.avg_hops, b.avg_hops) &&
+         deq(a.request_latency, b.request_latency) &&
+         deq(a.reply_latency, b.reply_latency) &&
+         a.consumed_packets == b.consumed_packets &&
+         a.deadlock == b.deadlock && a.cycles == b.cycles;
+}
+
+TEST(SweepRunner, AggregationInvariantUnderCompletionOrder) {
+  // The runner's determinism rests on jobs writing slots indexed by seed
+  // and the reduction walking those slots in seed order. Emulate workers
+  // finishing in many different orders: whatever order the slots are
+  // *written* in, the reduction input — and hence the aggregate — is
+  // bit-identical. The values are order-sensitive under naive
+  // accumulation (0.1/3 + 0.2/3 + 0.3/3 depends on grouping), so a runner
+  // that reduced in completion order would fail this.
+  const std::vector<SimResult> by_seed = {
+      fake_result(0.1, 77.7), fake_result(0.2, 0.3),
+      fake_result(0.0, 0.0, /*deadlock=*/true), fake_result(0.3, 1e-3),
+      fake_result(0.7, 123.456)};
+  const std::size_t n = by_seed.size();
+
+  std::vector<std::size_t> completion_order(n);
+  for (std::size_t i = 0; i < n; ++i) completion_order[i] = i;
+  SimResult expected;
+  std::mt19937 rng(42);
+  for (int trial = 0; trial < 24; ++trial) {
+    std::shuffle(completion_order.begin(), completion_order.end(), rng);
+    std::vector<SimResult> slots(n);
+    for (const std::size_t seed : completion_order)
+      slots[seed] = by_seed[seed];  // "job for seed k completes"
+    const SimResult agg = SweepRunner::aggregate_seeds(slots);
+    if (trial == 0)
+      expected = agg;
+    else
+      EXPECT_TRUE(bitwise_identical(expected, agg)) << "trial " << trial;
+  }
+  EXPECT_TRUE(expected.deadlock);
+}
+
+TEST(SweepRunner, AggregationInvariantUnderDeadlockPlacement) {
+  // With the same multiset of results, *where* the deadlocked seeds sit
+  // must not change the aggregate: survivors are counted up front and
+  // two-term float sums commute.
+  const SimResult a = fake_result(0.125, 100.5);
+  const SimResult b = fake_result(0.71, 42.25);
+  const SimResult dead = fake_result(0.0, 0.0, /*deadlock=*/true);
+  const SimResult agg1 =
+      SweepRunner::aggregate_seeds({dead, a, dead, b});
+  const SimResult agg2 =
+      SweepRunner::aggregate_seeds({a, dead, b, dead});
+  const SimResult agg3 =
+      SweepRunner::aggregate_seeds({a, b, dead, dead});
+  EXPECT_TRUE(bitwise_identical(agg1, agg2));
+  EXPECT_TRUE(bitwise_identical(agg1, agg3));
+  EXPECT_TRUE(agg1.deadlock);
+}
+
+TEST(SweepRunner, AllSeedsDeadlockedAggregatesToBitwiseZeroes) {
+  // Zero survivors must short-circuit the averaging entirely — a
+  // division by survivors=0 would turn every average into NaN. Checked
+  // bitwise (NaN would also fail EXPECT_DOUBLE_EQ, but be explicit).
+  for (const int n : {1, 2, 5}) {
+    const std::vector<SimResult> per_seed(
+        static_cast<std::size_t>(n), fake_result(0.0, 0.0, /*deadlock=*/true));
+    const SimResult agg = SweepRunner::aggregate_seeds(per_seed);
+    EXPECT_TRUE(agg.deadlock);
+    SimResult zeroes;
+    zeroes.deadlock = true;
+    zeroes.cycles = 1000 * n;  // cycles stay a total over all seeds
+    EXPECT_TRUE(bitwise_identical(agg, zeroes)) << n << " seeds";
+  }
+}
+
+TEST(SweepRunner, OneSurvivorAggregatesToExactlyThatSeed) {
+  const SimResult survivor = fake_result(0.4375, 99.5);
+  const SimResult dead = fake_result(0.0, 0.0, /*deadlock=*/true);
+  const SimResult agg =
+      SweepRunner::aggregate_seeds({dead, survivor, dead});
+  EXPECT_TRUE(agg.deadlock);
+  // Division by survivors=1 must be exact: the lone surviving seed's
+  // averages pass through unchanged.
+  EXPECT_DOUBLE_EQ(agg.accepted, survivor.accepted);
+  EXPECT_DOUBLE_EQ(agg.avg_latency, survivor.avg_latency);
+  EXPECT_DOUBLE_EQ(agg.avg_hops, survivor.avg_hops);
+  EXPECT_EQ(agg.consumed_packets, survivor.consumed_packets);
+  // Cycles stay a total over *all* seeds, deadlocked included.
+  EXPECT_EQ(agg.cycles, 3000);
+}
+
 // --- JSON report.
 
 std::vector<SweepResult> sample_sweeps() {
@@ -279,6 +381,120 @@ TEST(JsonReport, MetaOverwritesSameKey) {
   const std::string doc = report.to_json();
   EXPECT_NE(doc.find("\"jobs\": 8"), std::string::npos);
   EXPECT_EQ(doc.find("\"jobs\": 1"), std::string::npos);
+}
+
+// --- Round-trip: to_json() parsed back by the in-tree JSON parser.
+
+TEST(JsonReport, ParsesBackStructurally) {
+  JsonReport report;
+  report.set_meta("config", "dragonfly \"tiny\" \\ a\tb");
+  report.set_meta("jobs", static_cast<std::int64_t>(4));
+  report.set_meta("fraction", 0.1 + 0.2);
+  report.add_sweep("Fig X", sample_sweeps(), 1.5);
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(report.to_json(), &doc, &error)) << error;
+  ASSERT_TRUE(doc.is_object());
+
+  const JsonValue* meta = doc.find("meta");
+  ASSERT_NE(meta, nullptr);
+  EXPECT_EQ(meta->find("config")->string, "dragonfly \"tiny\" \\ a\tb")
+      << "escaping must invert exactly";
+  EXPECT_DOUBLE_EQ(meta->find("jobs")->number, 4.0);
+  EXPECT_EQ(meta->find("fraction")->number, 0.1 + 0.2)
+      << "doubles must survive the round trip bit-exactly";
+
+  const JsonValue* sweeps = doc.find("sweeps");
+  ASSERT_NE(sweeps, nullptr);
+  ASSERT_EQ(sweeps->array.size(), 1u);
+  const JsonValue& sweep = sweeps->array[0];
+  EXPECT_EQ(sweep.find("title")->string, "Fig X");
+  EXPECT_DOUBLE_EQ(sweep.find("wall_seconds")->number, 1.5);
+
+  const JsonValue* series = sweep.find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->array.size(), 1u);
+  const JsonValue& s = series->array[0];
+  EXPECT_EQ(s.find("label")->string, "FlexVC 4/2");
+  EXPECT_DOUBLE_EQ(s.find("max_accepted")->number, 0.25);
+
+  const JsonValue* rows = s.find("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->array.size(), 2u);
+  const JsonValue& row = rows->array[0];
+  EXPECT_EQ(row.find("load")->number, 0.25);
+  EXPECT_EQ(row.find("accepted")->number, 0.25);
+  EXPECT_EQ(row.find("latency")->number, 150.0);
+  EXPECT_EQ(row.find("hops")->number, 3.0);
+  EXPECT_EQ(row.find("consumed_packets")->number, 100.0);
+  EXPECT_EQ(row.find("cycles")->number, 1000.0);
+  EXPECT_FALSE(row.find("deadlock")->boolean);
+  EXPECT_TRUE(rows->array[1].find("deadlock")->boolean);
+}
+
+TEST(JsonReport, NonFiniteValuesParseBackAsNull) {
+  SweepResult sweep;
+  sweep.label = "nan sweep";
+  SweepRow row;
+  row.load = 0.5;
+  row.result = fake_result(0.5, std::numeric_limits<double>::quiet_NaN());
+  row.result.avg_hops = std::numeric_limits<double>::infinity();
+  sweep.rows.push_back(row);
+  JsonReport report;
+  report.add_sweep("nans", {sweep}, 0.0);
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(report.to_json(), &doc, &error)) << error;
+  const JsonValue& parsed_row =
+      doc.find("sweeps")->array[0].find("series")->array[0].find("rows")
+          ->array[0];
+  EXPECT_TRUE(parsed_row.find("latency")->is_null());
+  EXPECT_TRUE(parsed_row.find("hops")->is_null());
+  EXPECT_EQ(parsed_row.find("accepted")->number, 0.5);
+}
+
+TEST(JsonReport, EscapingControlCharsAndNonFiniteNumbers) {
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+  EXPECT_EQ(json_escape("tab\tnl\ncr\r"), "tab\\tnl\\ncr\\r");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::nan("")), "null");
+  EXPECT_EQ(json_number(2.0), "2");
+}
+
+TEST(JsonParser, DecodesEscapesAndRejectsGarbage) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(json_parse("\"a\\\"b\\\\c\\nd\\u0041\\u00e9\"", &v, &error))
+      << error;
+  EXPECT_EQ(v.string, "a\"b\\c\nd" "A" "\xc3\xa9");
+
+  EXPECT_FALSE(json_parse("{\"a\": }", &v, &error));
+  EXPECT_NE(error.find("byte"), std::string::npos)
+      << "errors should carry a position: " << error;
+  EXPECT_FALSE(json_parse("[1, 2", &v, &error));
+  EXPECT_FALSE(json_parse("01", &v, &error));
+  EXPECT_FALSE(json_parse("NaN", &v, &error));
+  EXPECT_FALSE(json_parse("{} trailing", &v, &error));
+  EXPECT_FALSE(json_parse("\"\\u0001", &v, &error));
+}
+
+TEST(JsonParser, SerializeParseIsIdentity) {
+  JsonReport report;
+  report.set_meta("config", "quote \" backslash \\ ctrl \x02 end");
+  report.add_sweep("Fig Y", sample_sweeps(), 0.25);
+
+  JsonValue first, second;
+  std::string error;
+  ASSERT_TRUE(json_parse(report.to_json(), &first, &error)) << error;
+  ASSERT_TRUE(json_parse(json_serialize(first), &second, &error)) << error;
+  // Identity checked through a second serialization: equal documents
+  // serialize to equal bytes.
+  EXPECT_EQ(json_serialize(first), json_serialize(second));
+  EXPECT_EQ(json_serialize(first, 0),
+            json_serialize(second, 0));
 }
 
 }  // namespace

@@ -1,0 +1,202 @@
+// bench_trajectory: folds one or more JsonReport files (the --json output
+// of the figure benches) into a cumulative BENCH_sweeps.json perf
+// trajectory, so CI can track sweep wall-clock and saturation throughput
+// across commits.
+//
+//   bench_trajectory --out BENCH_sweeps.json [--label L] report.json...
+//
+// Each input report contributes one trajectory entry: the report's figure /
+// config / worker+seed meta, total wall-clock seconds, simulated job count
+// (points x seeds), and per-sweep {title, wall_seconds, saturation and
+// maximum accepted load per series}. When --out already exists its entries
+// are preserved and the new ones appended (the "cumulative" part: CI runs
+// download the previous artifact and re-run this tool); a corrupt or
+// foreign --out file is an error, never overwritten silently.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/json_parser.hpp"
+
+using flexnet::JsonValue;
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+/// Copies a meta field (any scalar type) from the report into the entry.
+void copy_meta(const JsonValue& report, const char* key, JsonValue* entry) {
+  if (const JsonValue* meta = report.find("meta")) {
+    if (const JsonValue* v = meta->find(key)) entry->set(key, *v);
+  }
+}
+
+/// One trajectory entry summarizing a whole report file.
+JsonValue summarize_report(const JsonValue& report, const std::string& source,
+                           const std::string& label) {
+  JsonValue entry = JsonValue::make_object();
+  if (!label.empty()) entry.set("label", JsonValue::make_string(label));
+  entry.set("source", JsonValue::make_string(source));
+  copy_meta(report, "figure", &entry);
+  copy_meta(report, "config", &entry);
+  copy_meta(report, "nodes", &entry);
+  copy_meta(report, "jobs", &entry);
+  copy_meta(report, "seeds", &entry);
+
+  double seeds = 1.0;
+  if (const JsonValue* meta = report.find("meta"))
+    if (const JsonValue* s = meta->find("seeds")) seeds = s->number_or(1.0);
+
+  double wall_total = 0.0;
+  double sim_jobs_total = 0.0;
+  JsonValue sweeps_out = JsonValue::make_array();
+  if (const JsonValue* sweeps = report.find("sweeps")) {
+    for (const JsonValue& sweep : sweeps->array) {
+      JsonValue sweep_out = JsonValue::make_object();
+      if (const JsonValue* title = sweep.find("title"))
+        sweep_out.set("title", *title);
+      const double wall =
+          sweep.find("wall_seconds") ? sweep.find("wall_seconds")->number_or(0.0)
+                                     : 0.0;
+      wall_total += wall;
+      sweep_out.set("wall_seconds", JsonValue::make_number(wall));
+
+      double points = 0.0;
+      JsonValue series_out = JsonValue::make_array();
+      if (const JsonValue* series = sweep.find("series")) {
+        for (const JsonValue& s : series->array) {
+          JsonValue s_out = JsonValue::make_object();
+          if (const JsonValue* l = s.find("label")) s_out.set("label", *l);
+          if (const JsonValue* m = s.find("max_accepted"))
+            s_out.set("max_accepted", *m);
+          // Saturation throughput: accepted load at the highest offered
+          // load of the series, zero when that point deadlocked (the same
+          // rule as SweepResult::saturation_accepted).
+          const JsonValue* rows = s.find("rows");
+          if (rows != nullptr && !rows->array.empty()) {
+            points += static_cast<double>(rows->array.size());
+            const JsonValue& last = rows->array.back();
+            const JsonValue* deadlock = last.find("deadlock");
+            const bool dead = deadlock != nullptr && deadlock->type ==
+                                  JsonValue::Type::Bool && deadlock->boolean;
+            const JsonValue* accepted = last.find("accepted");
+            s_out.set("saturation_accepted",
+                      JsonValue::make_number(
+                          dead || accepted == nullptr
+                              ? 0.0
+                              : accepted->number_or(0.0)));
+          }
+          series_out.array.push_back(std::move(s_out));
+        }
+      }
+      sweep_out.set("points", JsonValue::make_number(points));
+      sim_jobs_total += points * seeds;
+      sweep_out.set("series", std::move(series_out));
+      sweeps_out.array.push_back(std::move(sweep_out));
+    }
+  }
+  entry.set("wall_seconds", JsonValue::make_number(wall_total));
+  entry.set("sim_jobs", JsonValue::make_number(sim_jobs_total));
+  entry.set("sweeps", std::move(sweeps_out));
+  return entry;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --out BENCH_sweeps.json [--label L] report.json...\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::string label;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
+      label = argv[++i];
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      inputs.push_back(argv[i]);
+    }
+  }
+  if (out_path.empty() || inputs.empty()) return usage(argv[0]);
+
+  // Load (or start) the cumulative trajectory document.
+  JsonValue doc = JsonValue::make_object();
+  doc.set("version", JsonValue::make_number(kFormatVersion));
+  doc.set("entries", JsonValue::make_array());
+  std::string existing;
+  if (read_file(out_path, &existing)) {
+    std::string error;
+    JsonValue parsed;
+    if (!json_parse(existing, &parsed, &error) || !parsed.is_object() ||
+        parsed.find("entries") == nullptr ||
+        !parsed.find("entries")->is_array()) {
+      std::fprintf(stderr,
+                   "error: %s exists but is not a bench trajectory (%s)\n",
+                   out_path.c_str(),
+                   error.empty() ? "missing entries array" : error.c_str());
+      return 1;
+    }
+    const JsonValue* version = parsed.find("version");
+    if (version == nullptr ||
+        version->number_or(0.0) != static_cast<double>(kFormatVersion)) {
+      std::fprintf(stderr,
+                   "error: %s is a version %g trajectory; this tool writes "
+                   "version %d — refusing to mix formats\n",
+                   out_path.c_str(),
+                   version == nullptr ? 0.0 : version->number_or(0.0),
+                   kFormatVersion);
+      return 1;
+    }
+    doc = parsed;
+  }
+  JsonValue* entries = nullptr;
+  for (auto& kv : doc.object)
+    if (kv.first == "entries") entries = &kv.second;
+
+  for (const std::string& input : inputs) {
+    std::string text;
+    if (!read_file(input, &text)) {
+      std::fprintf(stderr, "error: cannot read report %s\n", input.c_str());
+      return 1;
+    }
+    std::string error;
+    JsonValue report;
+    if (!json_parse(text, &report, &error) || !report.is_object()) {
+      std::fprintf(stderr, "error: %s: %s\n", input.c_str(), error.c_str());
+      return 1;
+    }
+    entries->array.push_back(summarize_report(report, input, label));
+  }
+
+  const std::string rendered = json_serialize(doc, 0) + "\n";
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out.write(rendered.data(),
+                 static_cast<std::streamsize>(rendered.size()))) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%s: %zu entr%s total (+%zu)\n", out_path.c_str(),
+               entries->array.size(),
+               entries->array.size() == 1 ? "y" : "ies", inputs.size());
+  return 0;
+}
