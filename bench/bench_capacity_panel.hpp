@@ -1,11 +1,17 @@
 // Shared constant-port-capacity panel for Figures 6 and 11: maximum
 // throughput for {64/256, 128/512, 192/768, 256/1024} phits per
 // local/global port split among however many VCs each configuration uses.
-// Figure 11 is the same panel with router speedup disabled in the base
-// config. Kept in one place so the grid build order and the k-indexed
-// table print cannot drift apart between the two benches.
+// Figure 11 is the same panel without router speedup.
+//
+// The (capacity x configuration) grids are data: one suite file per panel
+// under examples/suites/ (fig6a_uniform_min.json, ...), each series
+// labeled "<configuration> @<local>/<global>". This header only runs the
+// suite and renders the capacity-by-configuration table, deriving the
+// layout from the labels — so the bench can never disagree with the file
+// `flexnet_run` executes.
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -13,72 +19,43 @@
 
 namespace flexnet::bench {
 
-struct Capacity {
-  int local;
-  int global;
-};
-
-inline const Capacity kCapacities[] = {
-    {64, 256}, {128, 512}, {192, 768}, {256, 1024}};
-
-/// Baseline, DAMQ 75%, and one FlexVC column per arrangement in
-/// `flex_vcs`, all at the buffer capacities already set in `base`.
-inline std::vector<ExperimentSeries> capacity_series(
-    const SimConfig& base, const std::string& min_vcs,
-    const std::vector<std::string>& flex_vcs) {
-  std::vector<ExperimentSeries> out;
-  SimConfig cfg = base;
-  cfg.vcs = min_vcs;
-  cfg.policy = "baseline";
-  out.push_back(series("Baseline", cfg));
-  cfg.buffer_org = "damq";
-  out.push_back(series("DAMQ 75%", cfg));
-  cfg.buffer_org = "static";
-  cfg.policy = "flexvc";
-  for (const auto& vcs : flex_vcs) {
-    cfg.vcs = vcs;
-    out.push_back(series("FlexVC " + vcs + "VCs", cfg));
-  }
-  return out;
-}
-
-/// One capacity panel: the whole (capacity x configuration) grid becomes
-/// a single sharded sweep, then prints as a capacity-by-configuration
-/// table of maximum throughput. `suffix` annotates the table title
-/// (e.g. " (no speedup)" for Figure 11).
-inline void run_capacity_panel(const std::string& name, const SimConfig& base,
-                               const std::string& min_vcs,
-                               const std::vector<std::string>& flex_vcs,
-                               bool skip_smallest,
+/// Runs one capacity-panel suite and prints its max-throughput table.
+/// `suffix` annotates the table title (e.g. " (no speedup)" for Fig 11).
+inline void run_capacity_panel(const std::string& suite_file,
+                               const SimConfig& base,
                                const std::string& suffix = "") {
-  std::vector<ExperimentSeries> grid;
-  std::vector<Capacity> caps;
-  for (const auto& cap : kCapacities) {
-    if (skip_smallest && cap.local == 64) continue;  // paper omits 64/256 for ADV
-    caps.push_back(cap);
-    SimConfig cfg = base;
-    cfg.local_port_capacity = cap.local;
-    cfg.global_port_capacity = cap.global;
-    for (auto& s : capacity_series(cfg, min_vcs, flex_vcs)) {
-      s.label += " @" + std::to_string(cap.local) + "/" +
-                 std::to_string(cap.global);
-      grid.push_back(std::move(s));
-    }
-  }
-  const auto sweeps =
-      run_recorded_sweep(name, grid, {0.7, 0.85, 1.0}, bench_seeds());
+  const SuiteSpec spec = load_suite(suite_file);
+  const auto sweeps = run_suite(spec, base);
 
-  std::printf("\n== %s%s : max throughput vs port capacity ==\n", name.c_str(),
-              suffix.c_str());
+  // Rows and columns in order of first appearance in the suite.
+  std::vector<std::string> caps;
+  std::vector<std::string> columns;
+  for (const auto& s : sweeps) {
+    const auto at = s.label.rfind(" @");
+    if (at == std::string::npos) {
+      std::fprintf(stderr,
+                   "ERROR: capacity-panel series '%s' lacks an @L/G suffix\n",
+                   s.label.c_str());
+      std::exit(1);
+    }
+    const std::string cap = s.label.substr(at + 2);
+    const std::string col = s.label.substr(0, at);
+    if (std::find(caps.begin(), caps.end(), cap) == caps.end())
+      caps.push_back(cap);
+    if (std::find(columns.begin(), columns.end(), col) == columns.end())
+      columns.push_back(col);
+  }
+
+  std::printf("\n== %s%s : max throughput vs port capacity ==\n",
+              spec.title.c_str(), suffix.c_str());
   std::printf("%-18s", "capacity l/g");
-  const auto columns = capacity_series(base, min_vcs, flex_vcs);
-  for (const auto& s : columns) std::printf(" | %-16s", s.label.c_str());
+  for (const auto& col : columns) std::printf(" | %-16s", col.c_str());
   std::printf("\n");
-  std::size_t k = 0;
   for (const auto& cap : caps) {
-    std::printf("%4d/%-13d", cap.local, cap.global);
-    for (std::size_t i = 0; i < columns.size(); ++i)
-      std::printf(" | %-16.4f", sweeps[k++].max_accepted());
+    std::printf("%-18s", cap.c_str());
+    for (const auto& col : columns)
+      std::printf(" | %-16.4f",
+                  sweep_by_label(sweeps, col + " @" + cap).max_accepted());
     std::printf("\n");
   }
 }

@@ -1,6 +1,9 @@
 // Figure 11: the Figure 6 capacity sweep without router speedup (crossbar
 // at link frequency). HoLB dominates without the 2x crossbar margin, so
 // FlexVC's gains grow (the paper reports up to +37.8%).
+//
+// The fig11{a,b,c}_*.json suites pin speedup=1 in their base blocks; this
+// bench only renders them (also runnable standalone via flexnet_run).
 #include "bench_capacity_panel.hpp"
 
 using namespace flexnet;
@@ -8,28 +11,9 @@ using namespace flexnet::bench;
 
 int main(int argc, char** argv) {
   print_header("Figure 11", "Figure 6 without router speedup");
-  SimConfig base = base_config(argc, argv);
-  base.speedup = 1;
-  {
-    SimConfig cfg = base;
-    cfg.traffic = "uniform";
-    cfg.routing = "min";
-    run_capacity_panel("Fig 11a: UN/MIN", cfg, "2/1", {"2/1", "4/2", "8/4"},
-                       false, " (no speedup)");
-  }
-  {
-    SimConfig cfg = base;
-    cfg.traffic = "bursty";
-    cfg.routing = "min";
-    run_capacity_panel("Fig 11b: BURSTY-UN/MIN", cfg, "2/1",
-                       {"2/1", "4/2", "8/4"}, false, " (no speedup)");
-  }
-  {
-    SimConfig cfg = base;
-    cfg.traffic = "adversarial";
-    cfg.routing = "val";
-    run_capacity_panel("Fig 11c: ADV/VAL", cfg, "4/2", {"4/2", "8/4"}, true,
-                       " (no speedup)");
-  }
+  const SimConfig base = base_config(argc, argv);
+  run_capacity_panel("fig11a_uniform_min.json", base, " (no speedup)");
+  run_capacity_panel("fig11b_bursty_min.json", base, " (no speedup)");
+  run_capacity_panel("fig11c_adversarial_val.json", base, " (no speedup)");
   return write_report();
 }

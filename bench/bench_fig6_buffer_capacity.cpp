@@ -2,6 +2,9 @@
 // {64/256, 128/512, 192/768, 256/1024} phits on local/global ports, split
 // among however many VCs each configuration uses. FlexVC wins at every
 // capacity; the effect is largest with small buffers and under BURSTY-UN.
+//
+// The three panel grids are the fig6{a,b,c}_*.json suite files under
+// examples/suites/ (also runnable standalone via flexnet_run).
 #include "bench_capacity_panel.hpp"
 
 using namespace flexnet;
@@ -10,25 +13,8 @@ using namespace flexnet::bench;
 int main(int argc, char** argv) {
   print_header("Figure 6", "max throughput at constant port capacity");
   const SimConfig base = base_config(argc, argv);
-  {
-    SimConfig cfg = base;
-    cfg.traffic = "uniform";
-    cfg.routing = "min";
-    run_capacity_panel("Fig 6a: UN/MIN", cfg, "2/1", {"2/1", "4/2", "8/4"},
-                       false);
-  }
-  {
-    SimConfig cfg = base;
-    cfg.traffic = "bursty";
-    cfg.routing = "min";
-    run_capacity_panel("Fig 6b: BURSTY-UN/MIN", cfg, "2/1",
-                       {"2/1", "4/2", "8/4"}, false);
-  }
-  {
-    SimConfig cfg = base;
-    cfg.traffic = "adversarial";
-    cfg.routing = "val";
-    run_capacity_panel("Fig 6c: ADV/VAL", cfg, "4/2", {"4/2", "8/4"}, true);
-  }
+  run_capacity_panel("fig6a_uniform_min.json", base);
+  run_capacity_panel("fig6b_bursty_min.json", base);
+  run_capacity_panel("fig6c_adversarial_val.json", base);
   return write_report();
 }

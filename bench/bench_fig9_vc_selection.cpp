@@ -2,6 +2,10 @@
 // routing, for the four VC selection functions and six VC arrangements. The
 // paper finds JSQ best on average, closely followed by highest-VC, with
 // lowest-VC consistently worst and differences within a few percent (SVI-A).
+//
+// The experiment grid lives in examples/suites/fig9_vc_selection.json —
+// `flexnet_run` executes the same file; this bench only renders the paper's
+// arrangement-by-selection table from it.
 #include "bench_util.hpp"
 
 using namespace flexnet;
@@ -9,55 +13,26 @@ using namespace flexnet::bench;
 
 int main(int argc, char** argv) {
   print_header("Figure 9", "VC selection functions @ 100% load, UN req-reply");
-  SimConfig base = base_config(argc, argv);
-  base.reactive = true;
-  base.traffic = "uniform";
-  base.routing = "min";
-  base.load = 1.0;
-  const int seeds = bench_seeds();
+  const SimConfig base = base_config(argc, argv);
+  const SuiteSpec spec = load_suite("fig9_vc_selection.json");
+  const auto sweeps = run_suite(spec, base);
+  const auto accepted = [&](const std::string& label) {
+    return sweep_by_label(sweeps, label).rows.front().result.accepted;
+  };
 
   const char* arrangements[] = {"2/1+2/1", "2/1+3/2", "3/2+2/1",
                                 "2/1+4/3", "3/2+3/2", "4/3+2/1"};
   const char* selections[] = {"jsq", "highest", "lowest", "random"};
 
-  // The whole grid — two reference rows plus (arrangement x selection) —
-  // runs as one sharded sweep at the single 100% load point.
-  std::vector<ExperimentSeries> grid;
-  {
-    SimConfig cfg = base;
-    cfg.vcs = "2/1+2/1";
-    cfg.policy = "baseline";
-    grid.push_back(series("Baseline 2/1+2/1", cfg));
-    cfg.buffer_org = "damq";
-    grid.push_back(series("DAMQ 2/1+2/1 75%", cfg));
-  }
-  for (const char* arr : arrangements) {
-    for (const char* sel : selections) {
-      SimConfig cfg = base;
-      cfg.policy = "flexvc";
-      cfg.vcs = arr;
-      cfg.vc_selection = sel;
-      grid.push_back(series(std::string(arr) + " " + sel, cfg));
-    }
-  }
-  const auto sweeps =
-      run_recorded_sweep("Fig 9: VC selection @ 100% load", grid, {1.0}, seeds);
-  const auto accepted = [&](std::size_t i) {
-    return sweeps[i].rows.front().result.accepted;
-  };
-
-  std::printf("%-24s %8.4f\n", "Baseline 2/1+2/1", accepted(0));
-  std::printf("%-24s %8.4f\n", "DAMQ 2/1+2/1 75%", accepted(1));
+  std::printf("%-24s %8.4f\n", "Baseline 2/1+2/1", accepted("Baseline 2/1+2/1"));
+  std::printf("%-24s %8.4f\n", "DAMQ 2/1+2/1 75%", accepted("DAMQ 2/1+2/1 75%"));
   std::printf("\n%-12s", "VCs");
   for (const char* sel : selections) std::printf(" | %-10s", sel);
   std::printf("\n");
-  std::size_t k = 2;
   for (const char* arr : arrangements) {
     std::printf("%-12s", arr);
-    for (const char* sel : selections) {
-      (void)sel;
-      std::printf(" | %-10.4f", accepted(k++));
-    }
+    for (const char* sel : selections)
+      std::printf(" | %-10.4f", accepted(std::string(arr) + " " + sel));
     std::printf("\n");
   }
   return write_report();

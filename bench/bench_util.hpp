@@ -32,6 +32,7 @@
 #include "runner/json_report.hpp"
 #include "runner/sweep_runner.hpp"
 #include "runner/thread_pool.hpp"
+#include "scenario/suite.hpp"
 #include "sim/experiment.hpp"
 
 namespace flexnet::bench {
@@ -190,6 +191,52 @@ inline std::vector<SweepResult> run_recorded_sweep(
                secs, bench_jobs());
   ctx().report.add_sweep(title, sweeps, secs);
   return sweeps;
+}
+
+/// Loads a shipped suite file from examples/suites/ (the single source of
+/// truth for a figure's experiment grid — `flexnet_run` executes the same
+/// file, so the bench and the CLI cannot drift apart). Exits loudly when
+/// the file is missing or malformed: a bench without its grid is a bug.
+inline SuiteSpec load_suite(const std::string& filename) {
+  try {
+    return SuiteSpec::load_shipped(filename);
+  } catch (const SuiteError& e) {
+    std::fprintf(stderr, "ERROR: %s\n", e.what());
+    std::exit(1);
+  }
+}
+
+/// Runs a suite on the bench session: the grid is `defaults` (the bench's
+/// scaled, CLI-overridden base) + the suite's base + per-series overrides,
+/// swept over the suite's loads with its seed count (bench seeds when the
+/// suite does not pin one). The suite's base wins over conflicting CLI
+/// keys: a figure bench renders *its* figure, so the keys its suite pins
+/// (fig11's speedup=1, fig9's reactive/traffic/routing) stay pinned —
+/// exactly as when they were hard-coded. Use flexnet_run for a
+/// CLI-overridable run of the same file.
+inline std::vector<SweepResult> run_suite(const SuiteSpec& spec,
+                                          const SimConfig& defaults) {
+  std::vector<ExperimentSeries> grid;
+  try {
+    grid = spec.materialize(defaults);
+  } catch (const SuiteError& e) {
+    std::fprintf(stderr, "ERROR: %s\n", e.what());
+    std::exit(1);
+  }
+  return run_recorded_sweep(spec.title, grid, spec.loads,
+                            spec.seeds_or(bench_seeds()));
+}
+
+/// Accepted throughput of the labeled series' `row`-th load point. Exits
+/// when the label is missing — catches drift between a bench's table
+/// layout and the suite file it renders.
+inline const SweepResult& sweep_by_label(
+    const std::vector<SweepResult>& sweeps, const std::string& label) {
+  for (const auto& s : sweeps)
+    if (s.label == label) return s;
+  std::fprintf(stderr, "ERROR: suite has no series labeled '%s'\n",
+               label.c_str());
+  std::exit(1);
 }
 
 /// Writes the accumulated JSON report when --json was given. Call as the

@@ -1,62 +1,42 @@
-// Adaptive-routing study: how MIN, VAL and Piggyback behave under uniform
+// Adaptive-routing study: how MIN, VAL and UGAL-L behave under uniform
 // and adversarial traffic — the motivation for nonminimal adaptive routing
 // (paper SII) and for FlexVC-minCred's congestion sensing (SIII-D).
 //
-// ADV+k traffic sends every packet to the next group; all minimal traffic
-// between two groups shares one global link, so MIN collapses while VAL
-// sacrifices half the peak throughput everywhere. PB adapts per packet.
+// The experiment grid is a declarative suite file
+// (examples/suites/adaptive_routing_study.json) materialized through the
+// scenario API — the same file `flexnet_run` executes. Command-line
+// key=value tokens override the base configuration, e.g.
+//   ./examples/adaptive_routing_study df_h=4 measure=60000
 #include <cstdio>
 
-#include "sim/simulator.hpp"
-
-namespace {
-
-flexnet::SimResult run_one(flexnet::SimConfig cfg, const std::string& routing,
-                           const std::string& vcs, const std::string& traffic,
-                           double load) {
-  cfg.routing = routing;
-  cfg.vcs = vcs;
-  cfg.traffic = traffic;
-  cfg.load = load;
-  return flexnet::Simulator(cfg).run();
-}
-
-}  // namespace
+#include "scenario/suite.hpp"
+#include "sim/experiment.hpp"
 
 int main(int argc, char** argv) {
   using namespace flexnet;
-  SimConfig cfg;
-  cfg.policy = "flexvc";
-  cfg.apply(Options::parse(argc, argv));
+  try {
+    const SuiteSpec spec =
+        SuiteSpec::load_shipped("adaptive_routing_study.json");
+    const Options cli = Options::parse(argc, argv);
+    const SimConfig defaults;
+    const std::vector<ExperimentSeries> grid =
+        spec.materialize(defaults, &cli);
 
-  std::printf("Adaptive routing study on %s\n\n", cfg.summary().c_str());
-  std::printf("%-10s %-12s %-8s %-10s %-10s\n", "routing", "traffic", "load",
-              "accepted", "latency");
+    std::printf("%s on %s\n", spec.title.c_str(),
+                grid.front().config.summary().c_str());
+    const auto sweeps = run_load_sweep(grid, spec.loads, spec.seeds_or(1));
+    print_sweep_table(spec.title, sweeps);
 
-  for (const char* traffic : {"uniform", "adversarial"}) {
-    for (double load : {0.2, 0.45}) {
-      // MIN: optimal for UN, collapses under ADV.
-      SimResult r = run_one(cfg, "min", "2/1", traffic, load);
-      std::printf("%-10s %-12s %-8.2f %-10.3f %-10.1f\n", "MIN", traffic,
-                  load, r.accepted, r.avg_latency);
-      // VAL: immune to ADV, halves peak throughput.
-      r = run_one(cfg, "val", "4/2", traffic, load);
-      std::printf("%-10s %-12s %-8.2f %-10.3f %-10.1f\n", "VAL", traffic,
-                  load, r.accepted, r.avg_latency);
-      // UGAL-L: adapts per packet by comparing local queue occupancies
-      // (Piggyback adds remote saturation bits; see bench_fig8_adaptive).
-      r = run_one(cfg, "ugal", "4/2", traffic, load);
-      std::printf("%-10s %-12s %-8.2f %-10.3f %-10.1f\n", "UGAL-L", traffic,
-                  load, r.accepted, r.avg_latency);
-    }
-    std::printf("\n");
+    const SimConfig& cfg = grid.front().config;
+    std::printf(
+        "\nReading: under uniform traffic MIN wins on latency (shortest\n"
+        "paths); under adversarial traffic MIN saturates at the single\n"
+        "inter-group link (~%.3f phits/node/cycle at this scale) while VAL\n"
+        "and the adaptive mechanisms keep delivering.\n",
+        1.0 / (cfg.dragonfly.p * cfg.dragonfly.a));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
-
-  std::printf(
-      "Reading: under uniform traffic MIN wins on latency (shortest paths);\n"
-      "under adversarial traffic MIN saturates at the single inter-group\n"
-      "link (~%.3f phits/node/cycle at this scale) while VAL and the\n"
-      "adaptive mechanisms keep delivering.\n",
-      1.0 / (cfg.dragonfly.p * cfg.dragonfly.a));
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "buffers/buffer_org.hpp"
 
+#include "scenario/registry.hpp"
+
 #include <stdexcept>
 
 #include "common/check.hpp"
@@ -7,9 +9,9 @@
 namespace flexnet {
 
 BufferOrg parse_buffer_org(const std::string& name) {
-  if (name == "static") return BufferOrg::kStatic;
-  if (name == "damq") return BufferOrg::kDamq;
-  throw std::invalid_argument("unknown buffer organization: " + name);
+  // Registry-backed: an unknown name enumerates the registered
+  // organizations.
+  return buffer_org_registry().at(name).make();
 }
 
 const char* to_string(BufferOrg org) {
@@ -46,5 +48,21 @@ std::unique_ptr<InputBuffer> make_buffer(const BufferGeometry& geometry) {
   return std::make_unique<DamqBuffer>(geometry.num_vcs,
                                       geometry.private_per_vc, geometry.shared);
 }
+
+FLEXNET_REGISTER_BUFFER_ORG({
+    "static",
+    "statically partitioned per-VC FIFOs",
+    [] { return BufferOrg::kStatic; },
+    nullptr})
+
+FLEXNET_REGISTER_BUFFER_ORG({
+    "damq",
+    "DAMQ: shared pool with a per-VC private reservation",
+    [] { return BufferOrg::kDamq; },
+    [](const SimConfig& cfg) {
+      if (cfg.damq_private_fraction < 0.0 || cfg.damq_private_fraction > 1.0)
+        throw std::invalid_argument(
+            "buffer_org 'damq' needs damq_private_fraction in [0, 1]");
+    }})
 
 }  // namespace flexnet

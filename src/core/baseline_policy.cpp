@@ -1,5 +1,7 @@
 #include "core/baseline_policy.hpp"
 
+#include "scenario/registry.hpp"
+
 namespace flexnet {
 
 void BaselinePolicy::candidates(const HopContext& ctx,
@@ -27,5 +29,13 @@ void BaselinePolicy::candidates(const HopContext& ctx,
   cand.safe = true;
   out.push_back(cand);
 }
+
+FLEXNET_REGISTER_VC_POLICY({
+    "baseline",
+    "distance-based VC management: one fixed VC per hop index",
+    [](const VcArrangement& arrangement) -> std::unique_ptr<VcPolicy> {
+      return std::make_unique<BaselinePolicy>(arrangement);
+    },
+    nullptr})
 
 }  // namespace flexnet

@@ -1,5 +1,7 @@
 #include "core/flexvc_policy.hpp"
 
+#include "scenario/registry.hpp"
+
 namespace flexnet {
 
 void FlexVcPolicy::candidates(const HopContext& ctx,
@@ -64,5 +66,14 @@ void FlexVcPolicy::candidates(const HopContext& ctx,
   if (out.empty()) consider(/*intended_mode=*/false, /*own_segment_only=*/true);
   if (out.empty()) consider(/*intended_mode=*/false, /*own_segment_only=*/false);
 }
+
+FLEXNET_REGISTER_VC_POLICY({
+    "flexvc",
+    "FlexVC: any VC admissible that preserves a safe escape embedding "
+    "(paper SIII)",
+    [](const VcArrangement& arrangement) -> std::unique_ptr<VcPolicy> {
+      return std::make_unique<FlexVcPolicy>(arrangement);
+    },
+    nullptr})
 
 }  // namespace flexnet

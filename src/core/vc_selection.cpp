@@ -1,15 +1,14 @@
 #include "core/vc_selection.hpp"
 
+#include "scenario/registry.hpp"
+
 #include <stdexcept>
 
 namespace flexnet {
 
 VcSelection parse_vc_selection(const std::string& name) {
-  if (name == "jsq") return VcSelection::kJsq;
-  if (name == "highest") return VcSelection::kHighest;
-  if (name == "lowest") return VcSelection::kLowest;
-  if (name == "random") return VcSelection::kRandom;
-  throw std::invalid_argument("unknown VC selection: " + name);
+  // Registry-backed: an unknown name enumerates the registered selections.
+  return vc_selection_registry().at(name).make();
 }
 
 const char* to_string(VcSelection s) {
@@ -63,5 +62,29 @@ int select_vc(VcSelection policy, const std::vector<VcCandidate>& cands,
   }
   return best;
 }
+
+FLEXNET_REGISTER_VC_SELECTION({
+    "jsq",
+    "join the shortest queue: most free phits downstream (paper's best)",
+    [] { return VcSelection::kJsq; },
+    nullptr})
+
+FLEXNET_REGISTER_VC_SELECTION({
+    "highest",
+    "highest admissible template position",
+    [] { return VcSelection::kHighest; },
+    nullptr})
+
+FLEXNET_REGISTER_VC_SELECTION({
+    "lowest",
+    "lowest admissible template position (paper's consistent worst)",
+    [] { return VcSelection::kLowest; },
+    nullptr})
+
+FLEXNET_REGISTER_VC_SELECTION({
+    "random",
+    "uniform among the feasible candidates",
+    [] { return VcSelection::kRandom; },
+    nullptr})
 
 }  // namespace flexnet

@@ -1,5 +1,7 @@
 #include "routing/minimal.hpp"
 
+#include "scenario/registry.hpp"
+
 namespace flexnet {
 
 void MinimalRouting::route(const Packet& pkt, RouterId router, Rng& rng,
@@ -18,5 +20,13 @@ HopSeq MinimalRouting::reference_path() const {
   for (int i = 0; i < topo_.diameter(); ++i) seq.push_back(LinkType::kLocal);
   return seq;
 }
+
+FLEXNET_REGISTER_ROUTING({
+    "min",
+    "minimal routing (l-g-l on Dragonfly, direct on diameter-2 networks)",
+    [](const RoutingContext& ctx) -> std::unique_ptr<RoutingAlgorithm> {
+      return std::make_unique<MinimalRouting>(ctx.topo);
+    },
+    nullptr})
 
 }  // namespace flexnet

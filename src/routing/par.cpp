@@ -1,5 +1,7 @@
 #include "routing/par.hpp"
 
+#include "scenario/registry.hpp"
+
 namespace flexnet {
 
 void ParRouting::route(const Packet& pkt, RouterId router, Rng& rng,
@@ -50,5 +52,16 @@ HopSeq ParRouting::reference_path() const {
   }
   return seq;
 }
+
+FLEXNET_REGISTER_ROUTING({
+    "par",
+    "PAR: progressive adaptive — re-decides MIN vs VAL while in the source "
+    "group",
+    [](const RoutingContext& ctx) -> std::unique_ptr<RoutingAlgorithm> {
+      return std::make_unique<ParRouting>(
+          ctx.topo, ctx.oracle, ctx.config.packet_size,
+          ParConfig{ctx.config.adaptive_threshold, ctx.config.mincred});
+    },
+    nullptr})
 
 }  // namespace flexnet

@@ -1,5 +1,7 @@
 #include "routing/ugal.hpp"
 
+#include "scenario/registry.hpp"
+
 namespace flexnet {
 
 void UgalRouting::route(const Packet& pkt, RouterId router, Rng& rng,
@@ -46,5 +48,15 @@ HopSeq UgalRouting::reference_path() const {
   }
   return seq;
 }
+
+FLEXNET_REGISTER_ROUTING({
+    "ugal",
+    "UGAL-L: source-adaptive MIN vs VAL by local credit occupancy",
+    [](const RoutingContext& ctx) -> std::unique_ptr<RoutingAlgorithm> {
+      return std::make_unique<UgalRouting>(
+          ctx.topo, ctx.oracle, ctx.config.packet_size,
+          UgalConfig{ctx.config.adaptive_threshold, ctx.config.mincred});
+    },
+    nullptr})
 
 }  // namespace flexnet

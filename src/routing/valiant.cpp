@@ -1,5 +1,7 @@
 #include "routing/valiant.hpp"
 
+#include "scenario/registry.hpp"
+
 namespace flexnet {
 
 void ValiantRouting::route(const Packet& pkt, RouterId router, Rng& rng,
@@ -34,5 +36,13 @@ HopSeq ValiantRouting::reference_path() const {
   }
   return seq;
 }
+
+FLEXNET_REGISTER_ROUTING({
+    "val",
+    "Valiant: nonminimal oblivious via a uniform-random intermediate router",
+    [](const RoutingContext& ctx) -> std::unique_ptr<RoutingAlgorithm> {
+      return std::make_unique<ValiantRouting>(ctx.topo);
+    },
+    nullptr})
 
 }  // namespace flexnet

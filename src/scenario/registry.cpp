@@ -1,0 +1,74 @@
+#include "scenario/registry.hpp"
+
+#include "core/vc_arrangement.hpp"
+
+namespace flexnet {
+
+// Leaky function-local singletons: constructed on first use (safe during
+// the static initialization of the registrar objects), never destroyed
+// (so no registrar can outlive its registry during teardown).
+Registry<TopologyFactory>& topology_registry() {
+  static auto* r = new Registry<TopologyFactory>("topology");
+  return *r;
+}
+
+Registry<VcPolicyFactory>& vc_policy_registry() {
+  static auto* r = new Registry<VcPolicyFactory>("policy");
+  return *r;
+}
+
+Registry<RoutingFactory>& routing_registry() {
+  static auto* r = new Registry<RoutingFactory>("routing");
+  return *r;
+}
+
+Registry<VcSelectionFactory>& vc_selection_registry() {
+  static auto* r = new Registry<VcSelectionFactory>("vc_selection");
+  return *r;
+}
+
+Registry<TrafficFactories>& traffic_registry() {
+  static auto* r = new Registry<TrafficFactories>("traffic");
+  return *r;
+}
+
+Registry<BufferOrgFactory>& buffer_org_registry() {
+  static auto* r = new Registry<BufferOrgFactory>("buffer_org");
+  return *r;
+}
+
+void validate_config(const SimConfig& cfg) {
+  const auto check = [&cfg](const auto& registry, const std::string& name) {
+    const auto& entry = registry.at(name);  // throws with the name list
+    if (entry.validate) entry.validate(cfg);
+  };
+  check(topology_registry(), cfg.topology);
+  check(vc_policy_registry(), cfg.policy);
+  check(routing_registry(), cfg.routing);
+  check(vc_selection_registry(), cfg.vc_selection);
+  check(traffic_registry(), cfg.traffic);
+  check(buffer_org_registry(), cfg.buffer_org);
+  // The arrangement string is component-like config too: parse it now so a
+  // malformed "vcs" fails with its parser's message, not mid-construction.
+  (void)VcArrangement::parse(cfg.vcs);
+}
+
+std::vector<RegistryListing> list_registries() {
+  std::vector<RegistryListing> out;
+  const auto snapshot = [&out](const auto& registry) {
+    RegistryListing listing;
+    listing.kind = registry.kind();
+    for (const auto& e : registry.entries())
+      listing.components.push_back(ComponentInfo{e.name, e.description});
+    out.push_back(std::move(listing));
+  };
+  snapshot(topology_registry());
+  snapshot(routing_registry());
+  snapshot(vc_policy_registry());
+  snapshot(vc_selection_registry());
+  snapshot(traffic_registry());
+  snapshot(buffer_org_registry());
+  return out;
+}
+
+}  // namespace flexnet

@@ -2,58 +2,142 @@
 
 #include <cstdio>
 #include <sstream>
+#include <stdexcept>
 
 namespace flexnet {
+namespace {
+
+// One override key apply() honors. The single table drives both apply()
+// and known_keys(), so the accepted key set cannot drift from the list the
+// suite layer validates against.
+struct KeySpec {
+  const char* key;
+  SimConfig::KeyKind kind;
+  void (*apply)(SimConfig&, const Options&, const char* key);
+};
+
+void set_string(std::string SimConfig::*field, SimConfig& c, const Options& o,
+                const char* key) {
+  c.*field = o.get(key, c.*field);
+}
+
+template <std::string SimConfig::*Field>
+void apply_string(SimConfig& c, const Options& o, const char* key) {
+  set_string(Field, c, o, key);
+}
+
+template <int SimConfig::*Field>
+void apply_int(SimConfig& c, const Options& o, const char* key) {
+  c.*Field = static_cast<int>(o.get_int(key, c.*Field));
+}
+
+template <double SimConfig::*Field>
+void apply_double(SimConfig& c, const Options& o, const char* key) {
+  c.*Field = o.get_double(key, c.*Field);
+}
+
+template <bool SimConfig::*Field>
+void apply_bool(SimConfig& c, const Options& o, const char* key) {
+  c.*Field = o.get_bool(key, c.*Field);
+}
+
+template <Cycle SimConfig::*Field>
+void apply_cycle(SimConfig& c, const Options& o, const char* key) {
+  c.*Field = o.get_int(key, c.*Field);
+}
+
+const KeySpec kKeySpecs[] = {
+    {"topology", SimConfig::KeyKind::kString, apply_string<&SimConfig::topology>},
+    {"df_p", SimConfig::KeyKind::kInt,
+     [](SimConfig& c, const Options& o, const char* key) {
+       c.dragonfly.p = static_cast<int>(o.get_int(key, c.dragonfly.p));
+     }},
+    {"df_a", SimConfig::KeyKind::kInt,
+     [](SimConfig& c, const Options& o, const char* key) {
+       c.dragonfly.a = static_cast<int>(o.get_int(key, c.dragonfly.a));
+     }},
+    {"df_h", SimConfig::KeyKind::kInt,
+     [](SimConfig& c, const Options& o, const char* key) {
+       c.dragonfly.h = static_cast<int>(o.get_int(key, c.dragonfly.h));
+     }},
+    // After df_*: paper_scale=true replaces the whole dragonfly geometry.
+    {"paper_scale", SimConfig::KeyKind::kBool,
+     [](SimConfig& c, const Options& o, const char* key) {
+       if (o.get_bool(key, false)) c.dragonfly = DragonflyParams::paper_scale();
+     }},
+    {"fb_p", SimConfig::KeyKind::kInt,
+     [](SimConfig& c, const Options& o, const char* key) {
+       c.fb.p = static_cast<int>(o.get_int(key, c.fb.p));
+     }},
+    {"fb_a", SimConfig::KeyKind::kInt,
+     [](SimConfig& c, const Options& o, const char* key) {
+       c.fb.a = static_cast<int>(o.get_int(key, c.fb.a));
+     }},
+    {"sf_p", SimConfig::KeyKind::kInt,
+     [](SimConfig& c, const Options& o, const char* key) {
+       c.slimfly.p = static_cast<int>(o.get_int(key, c.slimfly.p));
+     }},
+    {"sf_q", SimConfig::KeyKind::kInt,
+     [](SimConfig& c, const Options& o, const char* key) {
+       c.slimfly.q = static_cast<int>(o.get_int(key, c.slimfly.q));
+     }},
+    {"vcs", SimConfig::KeyKind::kString, apply_string<&SimConfig::vcs>},
+    {"policy", SimConfig::KeyKind::kString, apply_string<&SimConfig::policy>},
+    {"vc_selection", SimConfig::KeyKind::kString, apply_string<&SimConfig::vc_selection>},
+    {"local_buffer", SimConfig::KeyKind::kInt, apply_int<&SimConfig::local_buffer_per_vc>},
+    {"global_buffer", SimConfig::KeyKind::kInt, apply_int<&SimConfig::global_buffer_per_vc>},
+    {"injection_buffer", SimConfig::KeyKind::kInt, apply_int<&SimConfig::injection_buffer_per_vc>},
+    {"output_buffer", SimConfig::KeyKind::kInt, apply_int<&SimConfig::output_buffer>},
+    {"local_port_capacity", SimConfig::KeyKind::kInt, apply_int<&SimConfig::local_port_capacity>},
+    {"global_port_capacity", SimConfig::KeyKind::kInt, apply_int<&SimConfig::global_port_capacity>},
+    {"buffer_org", SimConfig::KeyKind::kString, apply_string<&SimConfig::buffer_org>},
+    {"damq_private_fraction", SimConfig::KeyKind::kDouble, apply_double<&SimConfig::damq_private_fraction>},
+    {"speedup", SimConfig::KeyKind::kInt, apply_int<&SimConfig::speedup>},
+    {"alloc_iters", SimConfig::KeyKind::kInt, apply_int<&SimConfig::alloc_iters>},
+    {"pipeline_latency", SimConfig::KeyKind::kInt, apply_int<&SimConfig::pipeline_latency>},
+    {"injection_vcs", SimConfig::KeyKind::kInt, apply_int<&SimConfig::injection_vcs>},
+    {"local_latency", SimConfig::KeyKind::kInt, apply_int<&SimConfig::local_latency>},
+    {"global_latency", SimConfig::KeyKind::kInt, apply_int<&SimConfig::global_latency>},
+    {"routing", SimConfig::KeyKind::kString, apply_string<&SimConfig::routing>},
+    {"pb_per_vc", SimConfig::KeyKind::kBool, apply_bool<&SimConfig::pb_per_vc>},
+    {"mincred", SimConfig::KeyKind::kBool, apply_bool<&SimConfig::mincred>},
+    {"threshold", SimConfig::KeyKind::kInt, apply_int<&SimConfig::adaptive_threshold>},
+    {"traffic", SimConfig::KeyKind::kString, apply_string<&SimConfig::traffic>},
+    {"reactive", SimConfig::KeyKind::kBool, apply_bool<&SimConfig::reactive>},
+    {"load", SimConfig::KeyKind::kDouble, apply_double<&SimConfig::load>},
+    {"burst_length", SimConfig::KeyKind::kDouble, apply_double<&SimConfig::burst_length>},
+    {"adv_offset", SimConfig::KeyKind::kInt, apply_int<&SimConfig::adversarial_offset>},
+    {"reply_queue", SimConfig::KeyKind::kInt, apply_int<&SimConfig::reply_queue_capacity>},
+    {"packet_size", SimConfig::KeyKind::kInt, apply_int<&SimConfig::packet_size>},
+    {"warmup", SimConfig::KeyKind::kInt, apply_cycle<&SimConfig::warmup>},
+    {"measure", SimConfig::KeyKind::kInt, apply_cycle<&SimConfig::measure>},
+    {"seed", SimConfig::KeyKind::kInt,
+     [](SimConfig& c, const Options& o, const char* key) {
+       c.seed = static_cast<std::uint64_t>(
+           o.get_int(key, static_cast<std::int64_t>(c.seed)));
+     }},
+    {"watchdog", SimConfig::KeyKind::kInt, apply_cycle<&SimConfig::watchdog>},
+};
+
+}  // namespace
 
 void SimConfig::apply(const Options& o) {
-  topology = o.get("topology", topology);
-  dragonfly.p = static_cast<int>(o.get_int("df_p", dragonfly.p));
-  dragonfly.a = static_cast<int>(o.get_int("df_a", dragonfly.a));
-  dragonfly.h = static_cast<int>(o.get_int("df_h", dragonfly.h));
-  if (o.get_bool("paper_scale", false)) dragonfly = DragonflyParams::paper_scale();
-  fb.p = static_cast<int>(o.get_int("fb_p", fb.p));
-  fb.a = static_cast<int>(o.get_int("fb_a", fb.a));
-  slimfly.p = static_cast<int>(o.get_int("sf_p", slimfly.p));
-  slimfly.q = static_cast<int>(o.get_int("sf_q", slimfly.q));
+  for (const KeySpec& spec : kKeySpecs) spec.apply(*this, o, spec.key);
+}
 
-  vcs = o.get("vcs", vcs);
-  policy = o.get("policy", policy);
-  vc_selection = o.get("vc_selection", vc_selection);
+SimConfig::KeyKind SimConfig::key_kind(const std::string& key) {
+  for (const KeySpec& spec : kKeySpecs)
+    if (key == spec.key) return spec.kind;
+  throw std::invalid_argument("unknown config key '" + key + "'");
+}
 
-  local_buffer_per_vc = static_cast<int>(o.get_int("local_buffer", local_buffer_per_vc));
-  global_buffer_per_vc = static_cast<int>(o.get_int("global_buffer", global_buffer_per_vc));
-  injection_buffer_per_vc = static_cast<int>(o.get_int("injection_buffer", injection_buffer_per_vc));
-  output_buffer = static_cast<int>(o.get_int("output_buffer", output_buffer));
-  local_port_capacity = static_cast<int>(o.get_int("local_port_capacity", local_port_capacity));
-  global_port_capacity = static_cast<int>(o.get_int("global_port_capacity", global_port_capacity));
-  buffer_org = o.get("buffer_org", buffer_org);
-  damq_private_fraction = o.get_double("damq_private_fraction", damq_private_fraction);
-
-  speedup = static_cast<int>(o.get_int("speedup", speedup));
-  alloc_iters = static_cast<int>(o.get_int("alloc_iters", alloc_iters));
-  pipeline_latency = static_cast<int>(o.get_int("pipeline_latency", pipeline_latency));
-  injection_vcs = static_cast<int>(o.get_int("injection_vcs", injection_vcs));
-
-  local_latency = static_cast<int>(o.get_int("local_latency", local_latency));
-  global_latency = static_cast<int>(o.get_int("global_latency", global_latency));
-
-  routing = o.get("routing", routing);
-  pb_per_vc = o.get_bool("pb_per_vc", pb_per_vc);
-  mincred = o.get_bool("mincred", mincred);
-  adaptive_threshold = static_cast<int>(o.get_int("threshold", adaptive_threshold));
-
-  traffic = o.get("traffic", traffic);
-  reactive = o.get_bool("reactive", reactive);
-  load = o.get_double("load", load);
-  burst_length = o.get_double("burst_length", burst_length);
-  adversarial_offset = static_cast<int>(o.get_int("adv_offset", adversarial_offset));
-  reply_queue_capacity = static_cast<int>(o.get_int("reply_queue", reply_queue_capacity));
-  packet_size = static_cast<int>(o.get_int("packet_size", packet_size));
-
-  warmup = o.get_int("warmup", warmup);
-  measure = o.get_int("measure", measure);
-  seed = static_cast<std::uint64_t>(o.get_int("seed", static_cast<std::int64_t>(seed)));
-  watchdog = o.get_int("watchdog", watchdog);
+const std::vector<std::string>& SimConfig::known_keys() {
+  static const std::vector<std::string>* keys = [] {
+    auto* out = new std::vector<std::string>;
+    for (const KeySpec& spec : kKeySpecs) out->emplace_back(spec.key);
+    return out;
+  }();
+  return *keys;
 }
 
 std::string SimConfig::canonical() const {

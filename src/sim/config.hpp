@@ -2,6 +2,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/options.hpp"
 #include "common/types.hpp"
@@ -71,7 +72,21 @@ struct SimConfig {
   Cycle watchdog = 20000;
 
   /// Applies "key=value" overrides (load=0.6 vcs=4/2 policy=flexvc ...).
+  /// Exactly the keys in known_keys() are honored; others are ignored.
   void apply(const Options& opts);
+
+  /// Every override key apply() accepts, in application order. Suite files
+  /// validate their override keys against this list, and the round-trip
+  /// test asserts each key perturbs canonical() — so a new config field
+  /// must land in apply(), canonical(), and the key-spec table together.
+  static const std::vector<std::string>& known_keys();
+
+  /// Value shape of a known key, so the suite layer can reject values
+  /// apply() would silently misparse (e.g. speedup=1.5 truncating to 1).
+  enum class KeyKind { kString, kInt, kDouble, kBool };
+
+  /// Kind of `key`; throws std::invalid_argument for unknown keys.
+  static KeyKind key_kind(const std::string& key);
 
   std::string summary() const;
 

@@ -4,29 +4,18 @@
 
 #include "common/check.hpp"
 #include "core/admissibility.hpp"
-#include "core/baseline_policy.hpp"
 #include "routing/minimal.hpp"
-#include "routing/par.hpp"
-#include "routing/piggyback.hpp"
-#include "routing/ugal.hpp"
-#include "routing/valiant.hpp"
+#include "scenario/registry.hpp"
 
 namespace flexnet {
-namespace {
-
-std::unique_ptr<Topology> make_topology(const SimConfig& cfg) {
-  if (cfg.topology == "dragonfly")
-    return std::make_unique<Dragonfly>(cfg.dragonfly);
-  if (cfg.topology == "fb")
-    return std::make_unique<FlattenedButterfly>(cfg.fb);
-  if (cfg.topology == "slimfly") return std::make_unique<SlimFly>(cfg.slimfly);
-  throw std::invalid_argument("unknown topology: " + cfg.topology);
-}
-
-}  // namespace
 
 Network::Network(const SimConfig& config) : config_(config) {
-  topo_ = make_topology(config_);
+  // Registry-driven construction: unknown component names fail here with
+  // an error enumerating the registered alternatives, and each component's
+  // validate hook rejects configurations it cannot serve before any
+  // simulation state is built.
+  validate_config(config_);
+  topo_ = topology_registry().at(config_.topology).make(config_);
 
   const VcArrangement arrangement = VcArrangement::parse(config_.vcs);
   FLEXNET_CHECK_MSG(arrangement.typed == topo_->typed(),
@@ -34,45 +23,11 @@ Network::Network(const SimConfig& config) : config_(config) {
   FLEXNET_CHECK_MSG(arrangement.has_reply() == config_.reactive,
                     "request-reply arrangements require reactive traffic "
                     "and vice versa");
-  if (config_.policy == "baseline") {
-    policy_ = std::make_unique<BaselinePolicy>(arrangement);
-  } else if (config_.policy == "flexvc") {
-    policy_ = std::make_unique<FlexVcPolicy>(arrangement);
-  } else {
-    throw std::invalid_argument("unknown policy: " + config_.policy);
-  }
-  selection_ = parse_vc_selection(config_.vc_selection);
-
-  if (config_.routing == "min") {
-    routing_ = std::make_unique<MinimalRouting>(*topo_);
-  } else if (config_.routing == "val") {
-    routing_ = std::make_unique<ValiantRouting>(*topo_);
-  } else if (config_.routing == "par") {
-    routing_ = std::make_unique<ParRouting>(
-        *topo_, *this, config_.packet_size,
-        ParConfig{config_.adaptive_threshold, config_.mincred});
-  } else if (config_.routing == "ugal") {
-    routing_ = std::make_unique<UgalRouting>(
-        *topo_, *this, config_.packet_size,
-        UgalConfig{config_.adaptive_threshold, config_.mincred});
-  } else if (config_.routing == "pb") {
-    auto* df = dynamic_cast<const Dragonfly*>(topo_.get());
-    FLEXNET_CHECK_MSG(df != nullptr, "Piggyback routing requires a Dragonfly");
-    // Minimal traffic uses the first global VC of its class segment — the
-    // VC the per-VC variant senses.
-    std::array<VcIndex, kNumMsgClasses> first_vc{0, kInvalidVc};
-    if (arrangement.has_reply())
-      first_vc[1] = arrangement.count(MsgClass::kRequest, LinkType::kGlobal);
-    PiggybackConfig pb;
-    pb.per_vc = config_.pb_per_vc;
-    pb.min_only = config_.mincred;
-    pb.threshold_packets = config_.adaptive_threshold;
-    routing_ = std::make_unique<PiggybackRouting>(*df, *this,
-                                                  config_.packet_size, pb,
-                                                  first_vc);
-  } else {
-    throw std::invalid_argument("unknown routing: " + config_.routing);
-  }
+  policy_ = vc_policy_registry().at(config_.policy).make(arrangement);
+  selection_ = vc_selection_registry().at(config_.vc_selection).make();
+  routing_ = routing_registry()
+                 .at(config_.routing)
+                 .make(RoutingContext{*topo_, *this, config_, arrangement});
 
   // Validate that the arrangement supports the routing mechanism: under the
   // baseline the full reference must embed; FlexVC also accepts
@@ -125,7 +80,7 @@ void Network::build() {
   routers_.resize(static_cast<std::size_t>(num_routers));
   link_index_.resize(static_cast<std::size_t>(num_routers));
 
-  const BufferOrg org = parse_buffer_org(config_.buffer_org);
+  const BufferOrg org = buffer_org_registry().at(config_.buffer_org).make();
 
   int total_links = 0;
   for (RouterId r = 0; r < num_routers; ++r) {
@@ -180,7 +135,7 @@ void Network::build() {
   }
 
   // Nodes.
-  pattern_ = make_pattern(config_.traffic, *topo_, config_.adversarial_offset);
+  pattern_ = traffic_registry().at(config_.traffic).make.pattern(*topo_, config_);
   nodes_.reserve(static_cast<std::size_t>(topo_->num_nodes()));
   for (NodeId n = 0; n < topo_->num_nodes(); ++n) {
     nodes_.push_back(std::make_unique<Node>(

@@ -1,6 +1,7 @@
 #include "sim/node.hpp"
 
 #include "common/check.hpp"
+#include "scenario/registry.hpp"
 #include "sim/network.hpp"
 
 namespace flexnet {
@@ -12,13 +13,8 @@ Node::Node(NodeId id, const SimConfig& config, const TrafficPattern& pattern,
   // they spawn, so requests are generated at half the configured load
   // (SIV-B; keeps the injection channel's 1 phit/cycle budget feasible).
   const double request_load = config_.reactive ? config_.load / 2 : config_.load;
-  if (config_.traffic == "bursty") {
-    process_ = std::make_unique<OnOffProcess>(request_load, config_.packet_size,
-                                              config_.burst_length);
-  } else {
-    process_ = std::make_unique<BernoulliProcess>(request_load,
-                                                  config_.packet_size);
-  }
+  process_ =
+      traffic_registry().at(config_.traffic).make.process(config_, request_load);
 }
 
 void Node::step(Cycle now, Network& net) {
@@ -46,8 +42,9 @@ void Node::inject(Cycle now, Network& net) {
 
 void Node::generate(Cycle now, Network& net) {
   if (!process_->step(rng_)) return;
-  if (process_->new_burst() || burst_destination_ == kInvalidNode ||
-      config_.traffic != "bursty") {
+  // Non-bursty processes report every packet as a new burst, so this is
+  // the only destination-refresh rule needed for any registered traffic.
+  if (process_->new_burst() || burst_destination_ == kInvalidNode) {
     burst_destination_ = pattern_.destination(id_, rng_);
   }
   Packet pkt;

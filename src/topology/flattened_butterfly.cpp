@@ -1,5 +1,7 @@
 #include "topology/flattened_butterfly.hpp"
 
+#include "scenario/registry.hpp"
+
 #include "common/check.hpp"
 
 namespace flexnet {
@@ -71,5 +73,17 @@ HopSeq FlattenedButterfly::min_hop_types(RouterId from, RouterId to) const {
   if (col_of(from) != col_of(to)) seq.push_back(LinkType::kLocal);
   return seq;
 }
+
+FLEXNET_REGISTER_TOPOLOGY({
+    "fb",
+    "2D Flattened Butterfly (a x a grid) in adaptive/untyped diameter-2 mode",
+    [](const SimConfig& cfg) -> std::unique_ptr<Topology> {
+      return std::make_unique<FlattenedButterfly>(cfg.fb);
+    },
+    [](const SimConfig& cfg) {
+      if (cfg.fb.p < 1 || cfg.fb.a < 2)
+        throw std::invalid_argument(
+            "topology 'fb' needs fb_p >= 1, fb_a >= 2");
+    }})
 
 }  // namespace flexnet

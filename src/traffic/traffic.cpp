@@ -1,5 +1,7 @@
 #include "traffic/traffic.hpp"
 
+#include "scenario/registry.hpp"
+
 #include <stdexcept>
 
 #include "common/check.hpp"
@@ -58,11 +60,66 @@ bool OnOffProcess::step(Rng& rng) {
 std::unique_ptr<TrafficPattern> make_pattern(const std::string& name,
                                              const Topology& topo,
                                              int adversarial_offset) {
-  if (name == "uniform" || name == "bursty")
-    return std::make_unique<UniformPattern>(topo.num_nodes());
-  if (name == "adversarial")
-    return std::make_unique<AdversarialPattern>(topo, adversarial_offset);
-  throw std::invalid_argument("unknown traffic pattern: " + name);
+  // Registry-backed: an unknown name enumerates the registered patterns.
+  SimConfig cfg;
+  cfg.traffic = name;
+  cfg.adversarial_offset = adversarial_offset;
+  return traffic_registry().at(name).make.pattern(topo, cfg);
 }
+
+FLEXNET_REGISTER_TRAFFIC({
+    "uniform",
+    "UN: uniform-random destinations, Bernoulli injection",
+    TrafficFactories{
+        [](const Topology& topo, const SimConfig&)
+            -> std::unique_ptr<TrafficPattern> {
+          return std::make_unique<UniformPattern>(topo.num_nodes());
+        },
+        [](const SimConfig& cfg, double request_load)
+            -> std::unique_ptr<InjectionProcess> {
+          return std::make_unique<BernoulliProcess>(request_load,
+                                                    cfg.packet_size);
+        }},
+    nullptr})
+
+FLEXNET_REGISTER_TRAFFIC({
+    "bursty",
+    "BURSTY-UN: uniform destinations held per burst, ON/OFF Markov "
+    "injection",
+    TrafficFactories{
+        [](const Topology& topo, const SimConfig&)
+            -> std::unique_ptr<TrafficPattern> {
+          return std::make_unique<UniformPattern>(topo.num_nodes());
+        },
+        [](const SimConfig& cfg, double request_load)
+            -> std::unique_ptr<InjectionProcess> {
+          return std::make_unique<OnOffProcess>(
+              request_load, cfg.packet_size, cfg.burst_length);
+        }},
+    [](const SimConfig& cfg) {
+      if (cfg.burst_length < 1.0)
+        throw std::invalid_argument(
+            "traffic 'bursty' needs burst_length >= 1 packet");
+    }})
+
+FLEXNET_REGISTER_TRAFFIC({
+    "adversarial",
+    "ADV+k: random node of the group k groups after the source's",
+    TrafficFactories{
+        [](const Topology& topo, const SimConfig& cfg)
+            -> std::unique_ptr<TrafficPattern> {
+          return std::make_unique<AdversarialPattern>(
+              topo, cfg.adversarial_offset);
+        },
+        [](const SimConfig& cfg, double request_load)
+            -> std::unique_ptr<InjectionProcess> {
+          return std::make_unique<BernoulliProcess>(request_load,
+                                                    cfg.packet_size);
+        }},
+    [](const SimConfig& cfg) {
+      if (cfg.adversarial_offset < 1)
+        throw std::invalid_argument(
+            "traffic 'adversarial' needs adv_offset >= 1");
+    }})
 
 }  // namespace flexnet

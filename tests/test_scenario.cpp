@@ -1,0 +1,426 @@
+// Scenario layer: the component registries (construction + introspection +
+// error reporting) and the declarative suite API (parsing, validation,
+// materialization, and equivalence of the shipped suite files with the
+// figure grids they replaced).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "scenario/registry.hpp"
+#include "scenario/suite.hpp"
+#include "sim/network.hpp"
+
+namespace flexnet {
+namespace {
+
+std::string thrown_message(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Registry mechanics (on a local instance, so the global registries stay
+// exactly the builtin set for the tests below).
+
+TEST(Registry, DuplicateNameRejected) {
+  Registry<VcSelectionFactory> reg("widget");
+  reg.add({"alpha", "first", [] { return VcSelection::kJsq; }, nullptr});
+  EXPECT_THROW(
+      reg.add({"alpha", "again", [] { return VcSelection::kJsq; }, nullptr}),
+      RegistryError);
+  const std::string msg = thrown_message([&] {
+    reg.add({"alpha", "again", [] { return VcSelection::kJsq; }, nullptr});
+  });
+  EXPECT_NE(msg.find("duplicate widget 'alpha'"), std::string::npos) << msg;
+  EXPECT_EQ(reg.size(), 1u);  // the duplicate did not replace the original
+  EXPECT_EQ(reg.at("alpha").description, "first");
+}
+
+TEST(Registry, EmptyNameRejected) {
+  Registry<VcSelectionFactory> reg("widget");
+  EXPECT_THROW(reg.add({"", "", nullptr, nullptr}), RegistryError);
+}
+
+TEST(Registry, NamesSortedRegardlessOfRegistrationOrder) {
+  Registry<VcSelectionFactory> reg("widget");
+  for (const char* name : {"mid", "zz", "aa"})
+    reg.add({name, "", [] { return VcSelection::kJsq; }, nullptr});
+  const std::vector<std::string> expected = {"aa", "mid", "zz"};
+  EXPECT_EQ(reg.names(), expected);
+  // Stable: a second snapshot is identical.
+  EXPECT_EQ(reg.names(), reg.names());
+}
+
+TEST(Registry, UnknownNameEnumeratesAlternatives) {
+  Registry<VcSelectionFactory> reg("widget");
+  reg.add({"aa", "", [] { return VcSelection::kJsq; }, nullptr});
+  reg.add({"bb", "", [] { return VcSelection::kJsq; }, nullptr});
+  const std::string msg = thrown_message([&] { reg.at("cc"); });
+  EXPECT_NE(msg.find("unknown widget 'cc'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("registered: aa, bb"), std::string::npos) << msg;
+}
+
+// ---------------------------------------------------------------------------
+// Builtin registrations.
+
+TEST(BuiltinRegistries, AllComponentsRegistered) {
+  using Names = std::vector<std::string>;
+  EXPECT_EQ(topology_registry().names(),
+            (Names{"dragonfly", "fb", "slimfly"}));
+  EXPECT_EQ(routing_registry().names(),
+            (Names{"min", "par", "pb", "ugal", "val"}));
+  EXPECT_EQ(vc_policy_registry().names(), (Names{"baseline", "flexvc"}));
+  EXPECT_EQ(vc_selection_registry().names(),
+            (Names{"highest", "jsq", "lowest", "random"}));
+  EXPECT_EQ(traffic_registry().names(),
+            (Names{"adversarial", "bursty", "uniform"}));
+  EXPECT_EQ(buffer_org_registry().names(), (Names{"damq", "static"}));
+  for (const RegistryListing& listing : list_registries())
+    for (const ComponentInfo& info : listing.components)
+      EXPECT_FALSE(info.description.empty())
+          << listing.kind << " '" << info.name << "' has no description";
+}
+
+TEST(BuiltinRegistries, UnknownRoutingMessageListsRegisteredNames) {
+  const std::string msg =
+      thrown_message([] { routing_registry().at("ugl"); });
+  EXPECT_NE(msg.find("unknown routing 'ugl'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("registered: min, par, pb, ugal, val"),
+            std::string::npos)
+      << msg;
+}
+
+// Satellite: the vc_selection and buffer_org dispatch paths (previously
+// unguarded relative to the topology throw) now fail with the full list.
+TEST(BuiltinRegistries, NetworkConstructionErrorsEnumerateNames) {
+  {
+    SimConfig cfg;
+    cfg.vc_selection = "fifo";
+    const std::string msg = thrown_message([&] { Network net(cfg); });
+    EXPECT_NE(msg.find("unknown vc_selection 'fifo'"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("registered: highest, jsq, lowest, random"),
+              std::string::npos)
+        << msg;
+  }
+  {
+    SimConfig cfg;
+    cfg.buffer_org = "elastic";
+    const std::string msg = thrown_message([&] { Network net(cfg); });
+    EXPECT_NE(msg.find("unknown buffer_org 'elastic'"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("registered: damq, static"), std::string::npos) << msg;
+  }
+  {
+    SimConfig cfg;
+    cfg.topology = "torus";
+    const std::string msg = thrown_message([&] { Network net(cfg); });
+    EXPECT_NE(msg.find("unknown topology 'torus'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("registered: dragonfly, fb, slimfly"),
+              std::string::npos)
+        << msg;
+  }
+}
+
+TEST(BuiltinRegistries, ValidateHooksRejectBadConfigs) {
+  {
+    SimConfig cfg;  // pb off-Dragonfly
+    cfg.topology = "fb";
+    cfg.routing = "pb";
+    cfg.vcs = "2";
+    const std::string msg = thrown_message([&] { validate_config(cfg); });
+    EXPECT_NE(msg.find("topology=dragonfly"), std::string::npos) << msg;
+  }
+  {
+    SimConfig cfg;
+    cfg.buffer_org = "damq";
+    cfg.damq_private_fraction = 1.5;
+    EXPECT_THROW(validate_config(cfg), std::invalid_argument);
+  }
+  {
+    SimConfig cfg;
+    cfg.topology = "slimfly";
+    cfg.slimfly.q = 9;  // not prime
+    EXPECT_THROW(validate_config(cfg), std::invalid_argument);
+  }
+  // The default configuration is valid.
+  EXPECT_NO_THROW(validate_config(SimConfig{}));
+}
+
+// ---------------------------------------------------------------------------
+// Suite parsing.
+
+constexpr char kGoodSuite[] = R"json({
+  "title": "demo",
+  "description": "two series",
+  "base": {"traffic": "uniform", "routing": "min", "load": 1.0},
+  "series": [
+    {"label": "Baseline", "overrides": {"policy": "baseline", "vcs": "2/1"}},
+    {"label": "FlexVC", "overrides": {"policy": "flexvc", "vcs": "4/2"}}
+  ],
+  "loads": [0.5, 1.0],
+  "seeds": 3
+})json";
+
+TEST(SuiteSpec, ParsesWellFormedDocument) {
+  const SuiteSpec spec = SuiteSpec::parse(kGoodSuite);
+  EXPECT_EQ(spec.title, "demo");
+  EXPECT_EQ(spec.description, "two series");
+  ASSERT_EQ(spec.series.size(), 2u);
+  EXPECT_EQ(spec.series[0].label, "Baseline");
+  EXPECT_EQ(spec.series[1].label, "FlexVC");
+  EXPECT_EQ(spec.loads, (std::vector<double>{0.5, 1.0}));
+  EXPECT_EQ(spec.seeds, 3);
+  EXPECT_EQ(spec.seeds_or(7), 3);
+  // JSON scalars reach SimConfig::apply as their command-line spelling.
+  EXPECT_EQ(spec.base.get("load", ""), "1");
+  EXPECT_EQ(spec.series[1].overrides.get("vcs", ""), "4/2");
+}
+
+TEST(SuiteSpec, SeedsDefaultToCaller) {
+  const SuiteSpec spec = SuiteSpec::parse(R"json({
+    "title": "t",
+    "series": [{"label": "s", "overrides": {}}],
+    "loads": [0.5]
+  })json");
+  EXPECT_EQ(spec.seeds, 0);
+  EXPECT_EQ(spec.seeds_or(7), 7);
+}
+
+TEST(SuiteSpec, LoadRangeExpandsLikeLoadPoints) {
+  const SuiteSpec spec = SuiteSpec::parse(R"json({
+    "title": "t",
+    "series": [{"label": "s"}],
+    "loads": {"from": 0.2, "to": 1.0, "count": 5}
+  })json");
+  EXPECT_EQ(spec.loads, load_points(0.2, 1.0, 5));
+}
+
+TEST(SuiteSpec, RejectsMalformedDocuments) {
+  const auto error_of = [](const std::string& text) {
+    return thrown_message([&] { SuiteSpec::parse(text, "doc"); });
+  };
+  // Every message is prefixed with the origin.
+  EXPECT_NE(error_of("{").find("doc:"), std::string::npos);
+  EXPECT_NE(error_of("[1]").find("top level"), std::string::npos);
+  EXPECT_NE(error_of(R"({"series": [], "loads": [1]})").find("'title'"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"title": "t", "loads": [1]})").find("'series'"),
+            std::string::npos);
+  EXPECT_NE(
+      error_of(R"({"title": "t", "series": [{"label": "s"}]})").find("'loads'"),
+      std::string::npos);
+  EXPECT_NE(error_of(R"({"title": "t", "series": [{"label": "s"}],
+                         "loads": []})")
+                .find("empty"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"title": "t", "series": [{"label": "s"}],
+                         "loads": [0]})")
+                .find("> 0"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"title": "t", "series": [{"label": "s"}],
+                         "loads": [1], "bogus": 1})")
+                .find("unknown top-level key 'bogus'"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"title": "t", "loads": [1],
+                         "series": [{"label": "s"}, {"label": "s"}]})")
+                .find("duplicate series label 's'"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"title": "t", "loads": [1], "seeds": 0,
+                         "series": [{"label": "s"}]})")
+                .find("'seeds'"),
+            std::string::npos);
+  // Range bounds must be numbers, not number-looking strings.
+  EXPECT_NE(error_of(R"({"title": "t", "series": [{"label": "s"}],
+                         "loads": {"from": "0.1", "to": 1.0, "count": 3}})")
+                .find("must be numbers"),
+            std::string::npos);
+}
+
+TEST(SuiteSpec, RejectsValuesApplyWouldMisparse) {
+  const auto error_of = [](const std::string& overrides) {
+    return thrown_message([&] {
+      SuiteSpec::parse(R"({"title": "t", "loads": [1], "series": [
+        {"label": "s", "overrides": )" +
+                           overrides + "}]}", "doc");
+    });
+  };
+  // speedup=1.5 would silently truncate to 1 through strtoll.
+  EXPECT_NE(error_of(R"({"speedup": 1.5})").find("must be an integer"),
+            std::string::npos);
+  // Bool keys take JSON booleans, string keys take strings.
+  EXPECT_NE(error_of(R"({"reactive": 1})").find("takes true or false"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"topology": 3})").find("takes a string"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"load": true})").find("does not take a boolean"),
+            std::string::npos);
+  // Valid shapes parse: integral number for an int key, real for a double
+  // key, boolean for a bool key.
+  EXPECT_EQ(error_of(R"({"speedup": 1, "load": 0.75, "reactive": true})"),
+            "");
+}
+
+TEST(SuiteSpec, RejectsUnknownOverrideKeysWithSeriesLabel) {
+  const std::string msg = thrown_message([] {
+    SuiteSpec::parse(R"json({
+      "title": "t",
+      "series": [{"label": "typo series", "overrides": {"polcy": "flexvc"}}],
+      "loads": [1.0]
+    })json",
+                     "doc");
+  });
+  EXPECT_NE(msg.find("series 'typo series'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("unknown config key 'polcy'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("known keys:"), std::string::npos) << msg;
+}
+
+// ---------------------------------------------------------------------------
+// Materialization against the registries.
+
+TEST(SuiteSpec, MaterializeAppliesBaseExtraAndSeriesInOrder) {
+  const SuiteSpec spec = SuiteSpec::parse(kGoodSuite);
+  SimConfig defaults;
+  defaults.measure = 12345;
+  Options extra;
+  extra.set("traffic", "bursty");  // overrides the suite base
+  const auto grid = spec.materialize(defaults, &extra);
+  ASSERT_EQ(grid.size(), 2u);
+  EXPECT_EQ(grid[0].label, "Baseline");
+  EXPECT_EQ(grid[0].config.measure, 12345);       // defaults survive
+  EXPECT_EQ(grid[0].config.traffic, "bursty");    // extra beats base
+  EXPECT_EQ(grid[0].config.routing, "min");       // base applies
+  EXPECT_EQ(grid[0].config.policy, "baseline");   // series wins
+  EXPECT_EQ(grid[1].config.policy, "flexvc");
+  EXPECT_EQ(grid[1].config.vcs, "4/2");
+}
+
+TEST(SuiteSpec, UnknownComponentNamesSurfaceSeriesLabel) {
+  const SuiteSpec spec = SuiteSpec::parse(R"json({
+    "title": "t",
+    "series": [
+      {"label": "ok", "overrides": {"routing": "min"}},
+      {"label": "typo routing", "overrides": {"routing": "ugl"}}
+    ],
+    "loads": [1.0]
+  })json");
+  const std::string msg =
+      thrown_message([&] { spec.materialize(SimConfig{}); });
+  EXPECT_NE(msg.find("series 'typo routing'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("unknown routing 'ugl'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("registered: min, par, pb, ugal, val"),
+            std::string::npos)
+      << msg;
+}
+
+TEST(SuiteSpec, ValidateHookFailuresSurfaceSeriesLabel) {
+  const SuiteSpec spec = SuiteSpec::parse(R"json({
+    "title": "t",
+    "base": {"topology": "fb", "vcs": "2"},
+    "series": [{"label": "PB off-Dragonfly", "overrides": {"routing": "pb"}}],
+    "loads": [1.0]
+  })json");
+  const std::string msg =
+      thrown_message([&] { spec.materialize(SimConfig{}); });
+  EXPECT_NE(msg.find("series 'PB off-Dragonfly'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("topology=dragonfly"), std::string::npos) << msg;
+}
+
+// ---------------------------------------------------------------------------
+// Shipped suite files: the fig9 grid they replaced, rebuilt by hand, must
+// materialize to identical canonical configs (the bit-identity guarantee
+// behind `flexnet_run examples/suites/fig9_vc_selection.json`).
+
+SimConfig bench_defaults() {
+  SimConfig cfg;
+  cfg.dragonfly = DragonflyParams{2, 4, 2};
+  cfg.warmup = 10000;
+  cfg.measure = 20000;
+  return cfg;
+}
+
+TEST(ShippedSuites, Fig9MatchesTheBenchGridItReplaced) {
+  const SuiteSpec spec =
+      SuiteSpec::load_shipped("fig9_vc_selection.json");
+  EXPECT_EQ(spec.loads, (std::vector<double>{1.0}));
+  const auto grid = spec.materialize(bench_defaults());
+
+  // The grid exactly as bench_fig9_vc_selection.cpp used to build it.
+  SimConfig base = bench_defaults();
+  base.reactive = true;
+  base.traffic = "uniform";
+  base.routing = "min";
+  base.load = 1.0;
+  std::vector<ExperimentSeries> expected;
+  {
+    SimConfig cfg = base;
+    cfg.vcs = "2/1+2/1";
+    cfg.policy = "baseline";
+    expected.push_back({"Baseline 2/1+2/1", cfg});
+    cfg.buffer_org = "damq";
+    expected.push_back({"DAMQ 2/1+2/1 75%", cfg});
+  }
+  const char* arrangements[] = {"2/1+2/1", "2/1+3/2", "3/2+2/1",
+                                "2/1+4/3", "3/2+3/2", "4/3+2/1"};
+  const char* selections[] = {"jsq", "highest", "lowest", "random"};
+  for (const char* arr : arrangements) {
+    for (const char* sel : selections) {
+      SimConfig cfg = base;
+      cfg.policy = "flexvc";
+      cfg.vcs = arr;
+      cfg.vc_selection = sel;
+      expected.push_back({std::string(arr) + " " + sel, cfg});
+    }
+  }
+
+  ASSERT_EQ(grid.size(), expected.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(grid[i].label, expected[i].label) << i;
+    EXPECT_EQ(grid[i].config.canonical(), expected[i].config.canonical())
+        << "series '" << grid[i].label << "' diverges from the bench grid";
+  }
+}
+
+TEST(ShippedSuites, AllShippedSuitesMaterialize) {
+  const char* files[] = {
+      "fig9_vc_selection.json",     "fig6a_uniform_min.json",
+      "fig6b_bursty_min.json",      "fig6c_adversarial_val.json",
+      "fig11a_uniform_min.json",    "fig11b_bursty_min.json",
+      "fig11c_adversarial_val.json", "adaptive_routing_study.json",
+      "bursty_datacenter.json",     "smoke_tiny.json",
+  };
+  for (const char* file : files) {
+    SCOPED_TRACE(file);
+    const SuiteSpec spec =
+        SuiteSpec::load_shipped(file);
+    EXPECT_FALSE(spec.title.empty());
+    EXPECT_FALSE(spec.description.empty());
+    const auto grid = spec.materialize(bench_defaults());
+    EXPECT_FALSE(grid.empty());
+  }
+}
+
+TEST(ShippedSuites, CapacityPanelGridShape) {
+  const SuiteSpec spec = SuiteSpec::load_shipped("fig6a_uniform_min.json");
+  // 4 capacities x (Baseline, DAMQ, FlexVC 2/1, 4/2, 8/4).
+  EXPECT_EQ(spec.series.size(), 20u);
+  EXPECT_EQ(spec.loads, (std::vector<double>{0.7, 0.85, 1.0}));
+  const auto grid = spec.materialize(bench_defaults());
+  EXPECT_EQ(grid[0].label, "Baseline @64/256");
+  EXPECT_EQ(grid[0].config.local_port_capacity, 64);
+  EXPECT_EQ(grid[0].config.global_port_capacity, 256);
+  EXPECT_EQ(grid[0].config.policy, "baseline");
+  // Fig 11 is the same grid with speedup pinned to 1 in the suite base.
+  const SuiteSpec no_speedup = SuiteSpec::load_shipped("fig11a_uniform_min.json");
+  const auto grid11 = no_speedup.materialize(bench_defaults());
+  EXPECT_EQ(grid11[0].config.speedup, 1);
+  EXPECT_EQ(grid[0].config.speedup, 2);
+}
+
+}  // namespace
+}  // namespace flexnet

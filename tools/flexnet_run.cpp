@@ -1,0 +1,209 @@
+// flexnet_run: execute a declarative scenario suite (see
+// scenario/suite.hpp) through the parallel sweep runner.
+//
+//   flexnet_run SUITE.json [--jobs N] [--json PATH] [--checkpoint PATH]
+//               [key=value ...]
+//   flexnet_run --list
+//
+// The base configuration is the bench default (Table V at the FLEXNET_SCALE
+// system, FLEXNET_SEEDS seeds) so a suite file reproduces the corresponding
+// figure bench bit-identically for any worker count; trailing key=value
+// tokens override it after the suite's "base" block (the series overrides
+// always win). --checkpoint journals every completed job and resumes an
+// interrupted run; --list prints every component registered with the
+// scenario registries and exits.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/options.hpp"
+#include "runner/checkpoint.hpp"
+#include "runner/json_report.hpp"
+#include "runner/sweep_runner.hpp"
+#include "runner/thread_pool.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/suite.hpp"
+#include "sim/config.hpp"
+#include "sim/experiment.hpp"
+
+namespace {
+
+using namespace flexnet;
+
+int usage(const char* argv0, std::FILE* out = stderr, int code = 2) {
+  std::fprintf(
+      out,
+      "usage: %s SUITE.json [--jobs N] [--json PATH] [--checkpoint PATH]\n"
+      "       %*s [key=value ...]\n"
+      "       %s --list\n"
+      "\n"
+      "Runs the scenario suite described by SUITE.json on the parallel\n"
+      "sweep runner. Results are bit-identical for any --jobs count.\n"
+      "  --jobs N          worker threads (default: FLEXNET_JOBS or 1)\n"
+      "  --json PATH       write a machine-readable sweep report to PATH\n"
+      "  --checkpoint PATH journal completed jobs to PATH and resume from it\n"
+      "  --list            print every registered component and exit\n"
+      "  key=value         config overrides applied after the suite's base\n",
+      argv0, static_cast<int>(std::strlen(argv0)), "", argv0);
+  return code;
+}
+
+void print_registries() {
+  std::printf("registered components:\n");
+  for (const RegistryListing& listing : list_registries()) {
+    std::printf("  %s:\n", listing.kind.c_str());
+    for (const ComponentInfo& info : listing.components)
+      std::printf("    %-12s %s\n", info.name.c_str(),
+                  info.description.c_str());
+  }
+}
+
+void progress(const std::string& label, double load, const SimResult& r) {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "  [%-28s] load=%.2f accepted=%.3f lat=%.0f%s\n",
+                label.c_str(), load, r.accepted, r.avg_latency,
+                r.deadlock ? " DEADLOCK" : "");
+  std::fputs(line, stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string suite_path;
+  std::string json_path;
+  std::string checkpoint_path;
+  int jobs = ThreadPool::default_jobs();
+  bool list = false;
+  std::vector<const char*> overrides{argv[0]};
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string tok = argv[i];
+    const auto flag_value = [&](const char* name, std::string* out) {
+      const std::string flag = std::string("--") + name;
+      if (tok == flag) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "error: %s requires a value\n", flag.c_str());
+          std::exit(2);
+        }
+        *out = argv[++i];
+        return true;
+      }
+      if (tok.rfind(flag + "=", 0) == 0) {
+        *out = tok.substr(flag.size() + 1);
+        return true;
+      }
+      return false;
+    };
+    std::string value;
+    if (tok == "--list") {
+      list = true;
+    } else if (tok == "--help" || tok == "-h") {
+      return usage(argv[0], stdout, 0);  // asked-for help is not an error
+    } else if (flag_value("jobs", &value)) {
+      jobs = std::max(1, std::atoi(value.c_str()));
+    } else if (flag_value("json", &value)) {
+      json_path = value;
+    } else if (flag_value("checkpoint", &value)) {
+      checkpoint_path = value;
+    } else if (tok.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", tok.c_str());
+      return usage(argv[0]);
+    } else if (tok.find('=') != std::string::npos) {
+      const std::string key = tok.substr(0, tok.find('='));
+      const std::string value = tok.substr(tok.find('=') + 1);
+      // The key=value spellings the benches accept for the runner flags.
+      if (key == "jobs") {
+        jobs = std::max(1, std::atoi(value.c_str()));
+      } else if (key == "json") {
+        json_path = value;
+      } else if (key == "checkpoint") {
+        checkpoint_path = value;
+      } else {
+        // A typo'd override key would otherwise run the wrong experiment
+        // silently (SimConfig::apply ignores unknown keys) — reject it
+        // with the same key list suite files are validated against.
+        const auto& known = SimConfig::known_keys();
+        if (std::find(known.begin(), known.end(), key) == known.end()) {
+          std::fprintf(stderr,
+                       "error: unknown config key '%s' — known keys: %s\n",
+                       key.c_str(), known_config_keys_list().c_str());
+          return 2;
+        }
+        overrides.push_back(argv[i]);
+      }
+    } else if (suite_path.empty()) {
+      suite_path = tok;
+    } else {
+      std::fprintf(stderr, "error: more than one suite file ('%s', '%s')\n",
+                   suite_path.c_str(), tok.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  if (list) print_registries();
+  if (suite_path.empty()) return list ? 0 : usage(argv[0]);
+
+  try {
+    const SuiteSpec spec = SuiteSpec::load(suite_path);
+
+    // Bench defaults: Table V at the FLEXNET_SCALE system so suite files
+    // reproduce the figure benches bit-identically (see bench_util.hpp).
+    const BenchScale scale = bench_scale();
+    SimConfig defaults;
+    defaults.dragonfly = scale.dragonfly;
+    defaults.warmup = scale.warmup;
+    defaults.measure = scale.measure;
+
+    const Options cli = Options::parse(static_cast<int>(overrides.size()),
+                                       overrides.data());
+    const std::vector<ExperimentSeries> grid = spec.materialize(defaults, &cli);
+    const int seeds = spec.seeds_or(scale.seeds);
+
+    std::fprintf(stderr, "%s: %zu series x %zu loads x %d seeds on %d "
+                 "worker(s)\n",
+                 spec.title.c_str(), grid.size(), spec.loads.size(), seeds,
+                 jobs);
+    const auto t0 = std::chrono::steady_clock::now();
+    SweepRunner runner(jobs);
+    runner.set_checkpoint(checkpoint_path);
+    const std::vector<SweepResult> sweeps =
+        runner.run(grid, spec.loads, seeds, progress);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::fprintf(stderr, "  [%s] %.2fs wall on %d worker(s)\n",
+                 spec.title.c_str(), secs, jobs);
+
+    print_sweep_table(spec.title, sweeps);
+    print_throughput_summary(spec.title, sweeps);
+
+    if (!json_path.empty()) {
+      JsonReport report;
+      report.set_meta("suite", suite_path);
+      report.set_meta("title", spec.title);
+      if (!spec.description.empty())
+        report.set_meta("description", spec.description);
+      report.set_meta("config", grid.front().config.summary());
+      report.set_meta("seeds", static_cast<std::int64_t>(seeds));
+      report.set_meta("jobs", static_cast<std::int64_t>(jobs));
+      if (!checkpoint_path.empty())
+        report.set_meta("checkpoint", checkpoint_path);
+      report.add_sweep(spec.title, sweeps, secs);
+      if (!report.write_file(json_path)) {
+        std::fprintf(stderr, "error: could not write JSON report to %s\n",
+                     json_path.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "JSON report written to %s\n", json_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
