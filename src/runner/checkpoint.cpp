@@ -8,7 +8,10 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
+#include <map>
 #include <sstream>
+#include <utility>
 
 namespace flexnet {
 
@@ -123,6 +126,118 @@ std::string header_body(std::uint64_t fingerprint, std::size_t points,
   return out.str();
 }
 
+/// Parses a checksum-stripped header body back into the grid identity it
+/// declares; false when the line is not a v1 checkpoint header.
+bool parse_header_body(const std::string& body, std::uint64_t* fp,
+                       std::size_t* points, int* seeds) {
+  const std::vector<std::string> f = split_fields(body);
+  if (f.size() != 5 || f[0] != "flexnet-checkpoint" || f[1] != "v1")
+    return false;
+  if (f[2].rfind("fp=", 0) != 0 || f[3].rfind("points=", 0) != 0 ||
+      f[4].rfind("seeds=", 0) != 0) {
+    return false;
+  }
+  const std::string fp_hex = f[2].substr(3);
+  if (fp_hex.size() != 16) return false;
+  char* end = nullptr;
+  errno = 0;
+  *fp = std::strtoull(fp_hex.c_str(), &end, 16);
+  if (errno != 0 || end != fp_hex.c_str() + fp_hex.size()) return false;
+  // Bound before casting: a wrapped value would pass shape checks against
+  // the wrong grid and misreport the records as corrupt.
+  long long points_ll = 0, seeds_ll = 0;
+  if (!parse_i64(f[3].substr(7), &points_ll) || points_ll < 0) return false;
+  if (!parse_i64(f[4].substr(6), &seeds_ll) || seeds_ll < 1 ||
+      seeds_ll > std::numeric_limits<int>::max()) {
+    return false;
+  }
+  *points = static_cast<std::size_t>(points_ll);
+  *seeds = static_cast<int>(seeds_ll);
+  return true;
+}
+
+/// A journal's bytes scanned line by line: header identity, intact
+/// records, the byte length of the intact prefix, and whether a torn
+/// trailing record was discarded.
+struct ScannedJournal {
+  bool have_header = false;
+  std::string header;  ///< checksum-stripped first line
+  std::uint64_t fingerprint = 0;
+  std::size_t points = 0;
+  int seeds = 0;
+  std::vector<CheckpointRecord> records;
+  std::size_t valid_bytes = 0;
+  bool torn_tail = false;
+};
+
+/// The shared scanning core of CheckpointJournal::open (read+truncate+
+/// append path, `read_only` false) and read_journal (merge path,
+/// `read_only` true — the error advice must not suggest deleting or
+/// overwriting an input file that is merely being read). Checksums every
+/// line; a damaged *trailing* line after a valid header is reported via
+/// `torn_tail` (an interrupted write), damage anywhere else — including a
+/// first line that is not a checkpoint header, i.e. some other file — is
+/// a CheckpointError. Records are range-checked against the header's own
+/// declared grid shape.
+ScannedJournal scan_journal(const std::string& text, const std::string& path,
+                            bool read_only) {
+  ScannedJournal out;
+  const auto not_a_journal = [&] {
+    return CheckpointError(
+        read_only
+            ? "file " + path + " is not a checkpoint journal"
+            : "existing file " + path +
+                  " is not a checkpoint journal; refusing to overwrite "
+                  "it — delete it or pass a different --checkpoint path");
+  };
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const bool complete = nl != std::string::npos;
+    const std::string line =
+        text.substr(pos, complete ? nl - pos : std::string::npos);
+    const bool last_line = !complete || nl + 1 >= text.size();
+
+    if (!complete || !checksum_ok(line)) {
+      // An intact journal can only be damaged at its very end (a write cut
+      // short by a crash). A bad line anywhere earlier — including a bad
+      // *first* line, which makes this some other file entirely (a typo'd
+      // --checkpoint path must never destroy user data) — means the file
+      // is not a journal: refuse to guess.
+      if (last_line && out.have_header) {
+        out.torn_tail = true;
+        break;
+      }
+      if (!out.have_header) throw not_a_journal();
+      throw CheckpointError("corrupt checkpoint journal (bad line " +
+                            std::to_string(out.records.size() + 2) +
+                            "): " + path);
+    }
+
+    const std::string body = strip_checksum(line);
+    if (!out.have_header) {
+      if (!parse_header_body(body, &out.fingerprint, &out.points,
+                             &out.seeds)) {
+        throw not_a_journal();
+      }
+      out.header = body;
+      out.have_header = true;
+    } else {
+      CheckpointRecord rec;
+      if (!parse_record_body(body, &rec) || rec.point >= out.points ||
+          rec.seed >= out.seeds) {
+        throw CheckpointError("corrupt checkpoint record (line " +
+                              std::to_string(out.records.size() + 2) +
+                              "): " + path);
+      }
+      out.records.push_back(rec);
+    }
+    out.valid_bytes = nl + 1;
+    pos = nl + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 std::uint64_t grid_fingerprint(const std::vector<ExperimentSeries>& series,
@@ -158,77 +273,127 @@ std::vector<CheckpointRecord> CheckpointJournal::open(
     }
   }
 
-  std::vector<CheckpointRecord> records;
-  std::size_t valid_bytes = 0;  // byte length of the intact line prefix
-  bool have_header = false;
-  std::size_t pos = 0;
-  while (pos < text.size()) {
-    const std::size_t nl = text.find('\n', pos);
-    const bool complete = nl != std::string::npos;
-    const std::string line =
-        text.substr(pos, complete ? nl - pos : std::string::npos);
-    const bool last_line = !complete || nl + 1 >= text.size();
-    const char* torn_note =
-        "flexnet checkpoint: torn trailing record in %s (%s); truncating "
-        "and re-running the interrupted job\n";
-
-    if (!complete || !checksum_ok(line)) {
-      // An intact journal can only be damaged at its very end (a write cut
-      // short by a crash). A bad line anywhere earlier — including a bad
-      // *first* line, which makes this some other file entirely (a typo'd
-      // --checkpoint path must never destroy user data) — means the file
-      // is not a journal for this grid: refuse to guess.
-      if (last_line && have_header) {
-        std::fprintf(stderr, torn_note, path_.c_str(),
-                     complete ? "checksum mismatch" : "no trailing newline");
-        break;
-      }
-      throw CheckpointError(
-          have_header
-              ? "corrupt checkpoint journal (bad line " +
-                    std::to_string(records.size() + 2) + "): " + path_
-              : "existing file " + path_ +
-                    " is not a checkpoint journal; refusing to overwrite "
-                    "it — delete it or pass a different --checkpoint path");
-    }
-
-    const std::string body = strip_checksum(line);
-    if (!have_header) {
-      if (body != expected_header) {
-        throw CheckpointError(
-            "checkpoint journal " + path_ +
-            " does not match this sweep grid (header \"" + body +
-            "\", expected \"" + expected_header +
-            "\"); refusing to reuse results — delete the journal or fix "
-            "the grid/config");
-      }
-      have_header = true;
-    } else {
-      CheckpointRecord rec;
-      if (!parse_record_body(body, &rec) || rec.point >= points ||
-          rec.seed >= seeds) {
-        throw CheckpointError("corrupt checkpoint record (line " +
-                              std::to_string(records.size() + 2) + "): " +
-                              path_);
-      }
-      records.push_back(rec);
-    }
-    valid_bytes = nl + 1;
-    pos = nl + 1;
+  ScannedJournal scan = scan_journal(text, path_, /*read_only=*/false);
+  if (scan.have_header && scan.header != expected_header) {
+    throw CheckpointError(
+        "checkpoint journal " + path_ +
+        " does not match this sweep grid (header \"" + scan.header +
+        "\", expected \"" + expected_header +
+        "\"); refusing to reuse results — delete the journal or fix "
+        "the grid/config");
+  }
+  if (scan.torn_tail) {
+    std::fprintf(stderr,
+                 "flexnet checkpoint: torn trailing record in %s; "
+                 "truncating and re-running the interrupted job\n",
+                 path_.c_str());
   }
 
-  if (valid_bytes < text.size())
-    std::filesystem::resize_file(path_, valid_bytes);
+  if (scan.valid_bytes < text.size())
+    std::filesystem::resize_file(path_, scan.valid_bytes);
 
   file_ = std::fopen(path_.c_str(), "ab");
   if (file_ == nullptr)
     throw CheckpointError("cannot open checkpoint journal for append: " +
                           path_);
-  if (!have_header) {
+  if (!scan.have_header) {
     write_line(expected_header);
     flush_locked();
   }
-  return records;
+  return std::move(scan.records);
+}
+
+bool result_bits_equal(const SimResult& a, const SimResult& b) {
+  const auto deq = [](double x, double y) {
+    return std::memcmp(&x, &y, sizeof(double)) == 0;
+  };
+  return deq(a.offered, b.offered) && deq(a.accepted, b.accepted) &&
+         deq(a.avg_latency, b.avg_latency) && deq(a.avg_hops, b.avg_hops) &&
+         deq(a.request_latency, b.request_latency) &&
+         deq(a.reply_latency, b.reply_latency) &&
+         a.consumed_packets == b.consumed_packets &&
+         a.deadlock == b.deadlock && a.cycles == b.cycles;
+}
+
+JournalContents read_journal(const std::string& path) {
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw CheckpointError("cannot read shard journal: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+  ScannedJournal scan = scan_journal(text, path, /*read_only=*/true);
+  if (!scan.have_header)
+    throw CheckpointError("empty file " + path +
+                          " is not a checkpoint journal");
+  if (scan.torn_tail) {
+    std::fprintf(stderr,
+                 "flexnet checkpoint: torn trailing record in %s; ignoring "
+                 "the interrupted job (the file is left untouched)\n",
+                 path.c_str());
+  }
+  JournalContents out;
+  out.fingerprint = scan.fingerprint;
+  out.points = scan.points;
+  out.seeds = scan.seeds;
+  out.torn_tail = scan.torn_tail;
+  out.records = std::move(scan.records);
+  return out;
+}
+
+std::vector<CheckpointRecord> merge_journals(
+    const std::vector<ShardJournal>& shards) {
+  if (shards.empty())
+    throw CheckpointError("no shard journals to merge");
+  const auto identity = [](const ShardJournal& s) {
+    return s.name + " (fp=" + hex_u64(s.contents.fingerprint) +
+           " points=" + std::to_string(s.contents.points) +
+           " seeds=" + std::to_string(s.contents.seeds) + ")";
+  };
+  const JournalContents& first = shards.front().contents;
+  for (const ShardJournal& s : shards) {
+    if (s.contents.fingerprint != first.fingerprint ||
+        s.contents.points != first.points ||
+        s.contents.seeds != first.seeds) {
+      throw CheckpointError(
+          "shard journals disagree about the sweep grid: " +
+          identity(shards.front()) + " vs " + identity(s) +
+          " — every shard must run the identical suite, config, loads, "
+          "and seed count");
+    }
+  }
+
+  // Keyed occupancy: first writer of a (point, seed) key wins, later
+  // bit-identical copies dedupe, later divergent copies are fatal.
+  std::map<std::pair<std::size_t, int>,
+           std::pair<const ShardJournal*, const CheckpointRecord*>>
+      merged;
+  for (const ShardJournal& s : shards) {
+    for (const CheckpointRecord& rec : s.contents.records) {
+      const auto key = std::make_pair(rec.point, rec.seed);
+      const auto [it, inserted] = merged.emplace(
+          key, std::make_pair(&s, &rec));
+      if (!inserted &&
+          !result_bits_equal(it->second.second->result, rec.result)) {
+        throw CheckpointError(
+            "conflicting results for point " + std::to_string(rec.point) +
+            " seed " + std::to_string(rec.seed) + ": " +
+            it->second.first->name + " and " + s.name +
+            " journal different values for the same job — the shards are "
+            "not from the same run; refusing to merge");
+      }
+    }
+  }
+
+  std::vector<CheckpointRecord> out;
+  out.reserve(merged.size());
+  for (const auto& [key, value] : merged) {
+    (void)key;
+    out.push_back(*value.second);
+  }
+  return out;
 }
 
 void CheckpointJournal::write_line(const std::string& body) {

@@ -60,6 +60,55 @@ struct CheckpointRecord {
   SimResult result;
 };
 
+/// Bitwise equality of two results — every double compared by bit pattern
+/// (so -0.0 != 0.0 and equal NaN payloads match), integers and flags
+/// exactly. The merge's definition of "the same record".
+bool result_bits_equal(const SimResult& a, const SimResult& b);
+
+/// A journal file parsed read-only: the grid identity its header declares
+/// plus every intact record. `torn_tail` reports a trailing record cut by
+/// a crash mid-write; the record is discarded but — unlike
+/// CheckpointJournal::open — the file is never modified.
+struct JournalContents {
+  std::uint64_t fingerprint = 0;
+  std::size_t points = 0;
+  int seeds = 0;
+  bool torn_tail = false;
+  std::vector<CheckpointRecord> records;
+};
+
+/// Read-only parse of the journal at `path`, the merge-side counterpart of
+/// CheckpointJournal::open: same line/checksum format, same tolerance for
+/// a torn trailing record, but no expected identity (the header's own
+/// declaration is returned for the caller to compare) and no file
+/// mutation. Unreadable, empty, corrupt-before-the-tail, or non-journal
+/// files throw CheckpointError.
+JournalContents read_journal(const std::string& path);
+
+/// One shard journal feeding a merge, tagged with a display name (its
+/// path) for error messages.
+struct ShardJournal {
+  std::string name;
+  JournalContents contents;
+};
+
+/// Merges M shard journals of one sweep grid into a single record stream,
+/// sorted by (point, seed):
+///  - every input must declare the same (fingerprint, points, seeds) —
+///    a mismatch (different suite, config, loads, or seed count) is a
+///    CheckpointError naming both files;
+///  - duplicate records for the same (point, seed) with bit-identical
+///    results dedupe silently (overlapping shard ranges, a re-merged
+///    journal fed back in);
+///  - duplicates with *different* results are a CheckpointError naming the
+///    offending (point, seed) and both source journals — two shards that
+///    disagree were not runs of the same grid, and guessing would
+///    silently corrupt the report.
+/// Coverage is not required: merging a partial shard set yields a partial
+/// record stream (callers decide whether missing jobs are an error).
+std::vector<CheckpointRecord> merge_journals(
+    const std::vector<ShardJournal>& shards);
+
 class CheckpointJournal {
  public:
   /// Records fsync'd after this many appends (and on flush/close).

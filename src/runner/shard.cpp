@@ -1,0 +1,83 @@
+#include "runner/shard.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace flexnet {
+
+namespace {
+
+/// Strict decimal parse of a full string into a positive-representable
+/// long; false on empty input, sign characters, trailing junk, or overflow.
+bool parse_positive_int(const std::string& s, long* out) {
+  if (s.empty() || s[0] < '0' || s[0] > '9') return false;
+  char* end = nullptr;
+  errno = 0;
+  *out = std::strtol(s.c_str(), &end, 10);
+  return errno == 0 && end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+std::string ShardSpec::to_string() const {
+  return std::to_string(index + 1) + "/" + std::to_string(count);
+}
+
+bool parse_shard_spec(const std::string& text, ShardSpec* out,
+                      std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr)
+      *error = "invalid shard spec '" + text + "': " + why +
+               " (expected i/N with 1 <= i <= N, e.g. --shard 2/3)";
+    return false;
+  };
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) return fail("missing '/'");
+  long index = 0, count = 0;
+  if (!parse_positive_int(text.substr(0, slash), &index) ||
+      !parse_positive_int(text.substr(slash + 1), &count)) {
+    return fail("both sides must be positive decimal integers");
+  }
+  if (count < 1) return fail("shard count must be >= 1");
+  if (index < 1) return fail("shards are numbered from 1");
+  if (index > count)
+    return fail("shard index exceeds the shard count");
+  // Values past int range must not truncate through the casts below — a
+  // wrapped count would silently run the wrong (possibly full) job subset.
+  if (count > static_cast<long>(std::numeric_limits<int>::max()))
+    return fail("shard count too large");
+  out->index = static_cast<int>(index - 1);
+  out->count = static_cast<int>(count);
+  return true;
+}
+
+ShardPlan::ShardPlan(std::size_t points, int seeds, ShardSpec spec)
+    : points_(points), seeds_(std::max(1, seeds)), spec_(spec) {
+  FLEXNET_CHECK_MSG(spec_.count >= 1, "shard count must be >= 1");
+  FLEXNET_CHECK_MSG(spec_.index >= 0 && spec_.index < spec_.count,
+                    "shard index out of range");
+}
+
+int ShardPlan::owner(std::size_t point, int seed, int seeds, int count) {
+  const std::size_t job =
+      point * static_cast<std::size_t>(std::max(1, seeds)) +
+      static_cast<std::size_t>(seed);
+  return static_cast<int>(job % static_cast<std::size_t>(std::max(1, count)));
+}
+
+bool ShardPlan::contains(std::size_t point, int seed) const {
+  return owner(point, seed, seeds_, spec_.count) == spec_.index;
+}
+
+std::size_t ShardPlan::job_count() const {
+  const std::size_t total = total_jobs();
+  const std::size_t count = static_cast<std::size_t>(spec_.count);
+  const std::size_t index = static_cast<std::size_t>(spec_.index);
+  return total / count + (index < total % count ? 1 : 0);
+}
+
+}  // namespace flexnet

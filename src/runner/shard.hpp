@@ -1,0 +1,67 @@
+// Process-level sharding of sweep grids: a ShardPlan deterministically
+// partitions the (series x load x seed) job set of a materialized suite
+// into N disjoint, covering subsets, so N independent processes (one per
+// machine, if desired) can each run one subset with
+// `flexnet_run SUITE.json --shard i/N --checkpoint PATH` and the N
+// journals merge back into a single report (tools/flexnet_merge).
+//
+// The assignment is a pure function of the grid shape — job (point, seed)
+// belongs to shard ((point * seeds + seed) mod count) — so every process
+// computes the same plan with no coordination, the subsets are balanced to
+// within one job, and the keying matches the checkpoint journal's
+// (point, seed) records exactly: shard journals need no renumbering to
+// merge.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace flexnet {
+
+/// One process's slice of a sweep grid: shard `index` (0-based) of `count`.
+/// The default (0 of 1) is the whole grid — an unsharded run.
+struct ShardSpec {
+  int index = 0;
+  int count = 1;
+
+  bool sharded() const { return count > 1; }
+
+  /// The CLI spelling, 1-based: "2/3" is the second of three shards.
+  std::string to_string() const;
+};
+
+/// Parses the 1-based CLI spelling "i/N" (1 <= i <= N). Returns false and
+/// sets *error to a human-readable reason on anything else: "0/N", i > N,
+/// N < 1, non-numeric or trailing junk, missing '/'.
+bool parse_shard_spec(const std::string& text, ShardSpec* out,
+                      std::string* error);
+
+/// The deterministic partition itself, for a grid of `points` aggregated
+/// points x `seeds` seeds per point.
+class ShardPlan {
+ public:
+  ShardPlan(std::size_t points, int seeds, ShardSpec spec);
+
+  /// Shard that owns job (point, seed) under a `count`-way split.
+  static int owner(std::size_t point, int seed, int seeds, int count);
+
+  /// True when this plan's shard owns job (point, seed).
+  bool contains(std::size_t point, int seed) const;
+
+  /// Number of jobs this shard owns (total_jobs() / count, +1 for the
+  /// first total_jobs() % count shards).
+  std::size_t job_count() const;
+
+  std::size_t total_jobs() const {
+    return points_ * static_cast<std::size_t>(seeds_);
+  }
+
+  const ShardSpec& spec() const { return spec_; }
+
+ private:
+  std::size_t points_;
+  int seeds_;
+  ShardSpec spec_;
+};
+
+}  // namespace flexnet

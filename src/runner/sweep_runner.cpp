@@ -17,6 +17,11 @@ SweepRunner& SweepRunner::set_checkpoint(std::string path) {
   return *this;
 }
 
+SweepRunner& SweepRunner::set_shard(ShardSpec shard) {
+  shard_ = shard;
+  return *this;
+}
+
 SimConfig SweepRunner::job_config(const SimConfig& base, double load,
                                   int seed_index) {
   SimConfig cfg = base;
@@ -65,6 +70,17 @@ std::vector<SweepResult> SweepRunner::run(
   const auto point_index = [&](std::size_t s, std::size_t l) {
     return s * loads.size() + l;
   };
+
+  // Sharded run: jobs owned by other shards are marked done up front —
+  // never simulated, never journaled; their zeroed slots make the rows
+  // partial. The checkpoint below still fingerprints the FULL grid, so
+  // journals of sibling shards merge.
+  if (shard_.sharded()) {
+    const ShardPlan plan(num_points, n_seeds, shard_);
+    for (std::size_t p = 0; p < num_points; ++p)
+      for (int k = 0; k < n_seeds; ++k)
+        if (!plan.contains(p, k)) done[p][static_cast<std::size_t>(k)] = 1;
+  }
 
   // Resume: pre-fill completed slots from the journal (fingerprint
   // validated inside open — a journal for a different grid throws) and
@@ -142,6 +158,13 @@ std::vector<SweepResult> SweepRunner::run(
   if (journal) journal->close();
 
   // Deterministic reduction: grid order, never completion order.
+  return reduce_slots(series, loads, per_seed);
+}
+
+std::vector<SweepResult> SweepRunner::reduce_slots(
+    const std::vector<ExperimentSeries>& series,
+    const std::vector<double>& loads,
+    const std::vector<std::vector<SimResult>>& per_seed) {
   std::vector<SweepResult> out;
   out.reserve(series.size());
   for (std::size_t s = 0; s < series.size(); ++s) {
@@ -150,7 +173,7 @@ std::vector<SweepResult> SweepRunner::run(
     for (std::size_t l = 0; l < loads.size(); ++l) {
       SweepRow row;
       row.load = loads[l];
-      row.result = aggregate_seeds(per_seed[point_index(s, l)]);
+      row.result = aggregate_seeds(per_seed[s * loads.size() + l]);
       sweep.rows.push_back(row);
     }
     out.push_back(std::move(sweep));

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "runner/shard.hpp"
 #include "sim/experiment.hpp"
 
 namespace flexnet {
@@ -39,6 +40,21 @@ class SweepRunner {
   SweepRunner& set_checkpoint(std::string path);
 
   const std::string& checkpoint_path() const { return checkpoint_path_; }
+
+  /// Restricts subsequent run() calls to the jobs of `shard` (see
+  /// runner/shard.hpp): (point, seed) jobs owned by other shards are
+  /// neither simulated nor journaled and their slots aggregate as zeros,
+  /// so a sharded run's rows are partial by design — the journal written
+  /// under set_checkpoint holds exactly this shard's records and is the
+  /// run's real output. The checkpoint fingerprint still covers the FULL
+  /// grid (never the shard spec), so the N shard journals of a grid stay
+  /// mutually mergeable (merge_journals / tools/flexnet_merge) and the
+  /// merged report is bit-identical to a single-process run. Resuming a
+  /// sharded run from its own journal re-runs only the shard's missing
+  /// jobs. Does not affect run_point().
+  SweepRunner& set_shard(ShardSpec shard);
+
+  const ShardSpec& shard() const { return shard_; }
 
   /// Runs the full grid. `progress` (optional) is invoked once per
   /// aggregated (series, load) point as it completes; invocations are
@@ -65,9 +81,19 @@ class SweepRunner {
   /// surviving seeds only; consumed_packets and cycles stay totals.
   static SimResult aggregate_seeds(const std::vector<SimResult>& per_seed);
 
+  /// Grid-order reduction of the full slot matrix (`per_seed[point][seed]`
+  /// with point = series_index * loads.size() + load_index) into labeled
+  /// sweep rows — the final step of run(), shared with tools/flexnet_merge
+  /// so a merged report aggregates through exactly the runner's code.
+  static std::vector<SweepResult> reduce_slots(
+      const std::vector<ExperimentSeries>& series,
+      const std::vector<double>& loads,
+      const std::vector<std::vector<SimResult>>& per_seed);
+
  private:
   int jobs_ = 1;
   std::string checkpoint_path_;
+  ShardSpec shard_;
 };
 
 }  // namespace flexnet

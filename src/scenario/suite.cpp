@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "runner/checkpoint.hpp"
 #include "runner/json_parser.hpp"
 #include "runner/json_report.hpp"
 #include "scenario/registry.hpp"
@@ -210,6 +211,25 @@ SuiteSpec SuiteSpec::load_shipped(const std::string& filename) {
 #else
   return load("examples/suites/" + filename);
 #endif
+}
+
+MaterializedSuite materialize_for_run(const std::string& path,
+                                      const Options* extra) {
+  MaterializedSuite out;
+  out.spec = SuiteSpec::load(path);
+
+  // Bench defaults: Table V at the FLEXNET_SCALE system so suite files
+  // reproduce the figure benches bit-identically (see bench_util.hpp).
+  const BenchScale scale = bench_scale();
+  SimConfig defaults;
+  defaults.dragonfly = scale.dragonfly;
+  defaults.warmup = scale.warmup;
+  defaults.measure = scale.measure;
+
+  out.grid = out.spec.materialize(defaults, extra);
+  out.seeds = out.spec.seeds_or(scale.seeds);
+  out.fingerprint = grid_fingerprint(out.grid, out.spec.loads, out.seeds);
+  return out;
 }
 
 std::vector<ExperimentSeries> SuiteSpec::materialize(

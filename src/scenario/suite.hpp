@@ -29,6 +29,7 @@
 // caller extras (e.g. flexnet_run's command line) -> per-series overrides.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -88,5 +89,25 @@ struct SuiteSpec {
                                             const Options* extra = nullptr)
       const;
 };
+
+/// A suite materialized exactly as `flexnet_run` executes it: bench-scale
+/// defaults (FLEXNET_SCALE / FLEXNET_SEEDS / FLEXNET_MEASURE) + suite base
+/// + `extra` CLI overrides + per-series overrides, with the seed count
+/// resolved and the checkpoint grid fingerprint computed.
+struct MaterializedSuite {
+  SuiteSpec spec;
+  std::vector<ExperimentSeries> grid;
+  int seeds = 0;
+  std::uint64_t fingerprint = 0;  ///< grid_fingerprint(grid, loads, seeds)
+};
+
+/// Loads `path` and materializes it with the bench defaults. The single
+/// grid constructor shared by `flexnet_run` (which executes the grid) and
+/// `flexnet_merge` (which validates shard journals against the same
+/// fingerprint and aggregates them) — sharing it keeps the two tools'
+/// grids identical by construction, which is what makes a merged report
+/// bit-identical to a single-process run.
+MaterializedSuite materialize_for_run(const std::string& path,
+                                      const Options* extra = nullptr);
 
 }  // namespace flexnet

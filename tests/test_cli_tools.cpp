@@ -1,0 +1,218 @@
+// CLI-level contracts of the tool binaries (spawned from the build dir,
+// FLEXNET_BIN_DIR): flexnet_run must reject malformed --shard specs with
+// a clear non-zero exit, and bench_trajectory must skip (not abort on)
+// empty or half-written reports — the regression a crashed shard used to
+// cause in the trajectory fold.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "runner/json_parser.hpp"
+
+namespace flexnet {
+namespace {
+
+std::string bin(const std::string& name) {
+  return std::string(FLEXNET_BIN_DIR) + "/" + name;
+}
+
+std::string shipped_suite(const std::string& filename) {
+  return std::string(FLEXNET_SUITE_DIR) + "/" + filename;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+struct CmdResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+CmdResult run_cmd(const std::string& cmd) {
+  CmdResult result;
+  std::FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) result.output += buf;
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// flexnet_run --shard validation.
+
+TEST(FlexnetRunCli, MalformedShardSpecExitsNonZeroWithClearMessage) {
+  for (const char* bad : {"0/3", "4/3", "x/3", "3/", "1.5/3", "3/0"}) {
+    const CmdResult r = run_cmd(bin("flexnet_run") + " " +
+                                shipped_suite("smoke_tiny.json") +
+                                " --shard " + bad);
+    EXPECT_EQ(r.exit_code, 2) << bad << "\n" << r.output;
+    EXPECT_NE(r.output.find("invalid shard spec"), std::string::npos)
+        << bad << "\n" << r.output;
+    EXPECT_NE(r.output.find("expected i/N"), std::string::npos)
+        << bad << "\n" << r.output;
+  }
+  // The key=value spelling goes through the same validation.
+  const CmdResult r = run_cmd(bin("flexnet_run") + " " +
+                              shipped_suite("smoke_tiny.json") + " shard=0/3");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("invalid shard spec"), std::string::npos)
+      << r.output;
+}
+
+TEST(FlexnetRunCli, ValidShardRunsItsSubsetAndWarnsWithoutCheckpoint) {
+  // Shard 1/12 of the 12-job smoke grid is a single tiny job — fast, and
+  // enough to pin the happy path plus the lost-results warning.
+  const CmdResult r = run_cmd(bin("flexnet_run") + " " +
+                              shipped_suite("smoke_tiny.json") +
+                              " --shard 1/12 warmup=50 measure=100");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("shard 1/12: 1 of 12 jobs"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("without --checkpoint"), std::string::npos)
+      << r.output;
+}
+
+// ---------------------------------------------------------------------------
+// flexnet_merge --out safety.
+
+TEST(FlexnetMergeCli, ExistingOutPathRefusedBeforeTouchingAnyFile) {
+  // An existing --out could be a shard journal the user also listed as an
+  // input; the refusal must come before any file is opened or repaired.
+  const std::string out = temp_path("cli_merge_out.journal");
+  const std::string precious = "some existing bytes, maybe a shard journal";
+  write_file(out, precious);
+  const CmdResult r = run_cmd(bin("flexnet_merge") + " " +
+                              shipped_suite("smoke_tiny.json") + " --out " +
+                              out + " no-such-shard.journal");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("already exists"), std::string::npos) << r.output;
+  EXPECT_EQ(read_file(out), precious) << "--out must be left untouched";
+  std::remove(out.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// bench_trajectory: one bad report (crashed shard) must not wedge the fold.
+
+constexpr char kGoodReport[] = R"json({
+  "meta": {"figure": "cli-test", "jobs": 1, "seeds": 1},
+  "sweeps": [
+    {"title": "t", "wall_seconds": 1.5, "series": [
+      {"label": "s", "max_accepted": 0.5, "rows": [
+        {"load": 1.0, "accepted": 0.5, "deadlock": false}]}]}
+  ]
+})json";
+
+TEST(BenchTrajectoryCli, SkipsEmptyAndPartialReportsInsteadOfAborting) {
+  const std::string out = temp_path("cli_traj.json");
+  const std::string good = temp_path("cli_good.json");
+  const std::string empty = temp_path("cli_empty.json");
+  const std::string partial = temp_path("cli_partial.json");
+  const std::string foreign = temp_path("cli_foreign.json");
+  const std::string missing = temp_path("cli_missing.json");
+  std::remove(out.c_str());
+  std::remove(missing.c_str());
+  write_file(good, kGoodReport);
+  write_file(empty, "");
+  write_file(partial, "{\"meta\": {\"figure\": \"cut mid-wri");
+  write_file(foreign, "[1, 2, 3]\n");
+
+  const CmdResult r = run_cmd(bin("bench_trajectory") + " --out " + out +
+                              " " + good + " " + empty + " " + partial +
+                              " " + foreign + " " + missing);
+  EXPECT_EQ(r.exit_code, 0)
+      << "bad inputs must be skipped, not abort the fold\n" << r.output;
+  for (const std::string& skipped : {empty, partial, foreign, missing})
+    EXPECT_NE(r.output.find("skipping report " + skipped), std::string::npos)
+        << r.output;
+
+  // The good report still landed in the trajectory.
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(read_file(out), &doc, &error)) << error;
+  const JsonValue* entries = doc.find("entries");
+  ASSERT_NE(entries, nullptr);
+  ASSERT_EQ(entries->array.size(), 1u);
+  EXPECT_EQ(entries->array[0].find("source")->string_or(""), good);
+
+  for (const std::string& path : {out, good, empty, partial, foreign})
+    std::remove(path.c_str());
+}
+
+TEST(BenchTrajectoryCli, PartialReportsAreSkippedNotSilentlyFolded) {
+  // A single shard's report (meta.shard) and an incomplete merge
+  // (meta.missing_jobs) carry zeroed slots for the jobs they lack;
+  // folding them would silently poison the saturation trajectory.
+  const std::string out = temp_path("cli_traj_partial.json");
+  const std::string good = temp_path("cli_whole.json");
+  const std::string shard = temp_path("cli_shard.json");
+  const std::string unmerged = temp_path("cli_unmerged.json");
+  std::remove(out.c_str());
+  write_file(good, kGoodReport);
+  std::string shard_report = kGoodReport;
+  shard_report.replace(shard_report.find("\"jobs\": 1"), 9,
+                       "\"jobs\": 1, \"shard\": \"2/3\"");
+  write_file(shard, shard_report);
+  std::string unmerged_report = kGoodReport;
+  unmerged_report.replace(unmerged_report.find("\"jobs\": 1"), 9,
+                          "\"jobs\": 1, \"missing_jobs\": 4");
+  write_file(unmerged, unmerged_report);
+
+  const CmdResult r = run_cmd(bin("bench_trajectory") + " --out " + out +
+                              " " + good + " " + shard + " " + unmerged);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("skipping report " + shard), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("shard 2/3"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("skipping report " + unmerged), std::string::npos)
+      << r.output;
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(read_file(out), &doc, &error)) << error;
+  ASSERT_EQ(doc.find("entries")->array.size(), 1u);
+  EXPECT_EQ(doc.find("entries")->array[0].find("source")->string_or(""),
+            good);
+  for (const std::string& path : {out, good, shard, unmerged})
+    std::remove(path.c_str());
+}
+
+TEST(BenchTrajectoryCli, AllInputsSkippedIsAnErrorAndOutIsLeftUntouched) {
+  // Skipping one bad report among good ones is tolerance; producing no
+  // fold at all is a failure — and the existing trajectory must survive.
+  const std::string out = temp_path("cli_traj_allbad.json");
+  const std::string empty = temp_path("cli_only_empty.json");
+  const std::string precious = "{\"version\": 1, \"entries\": []}\n";
+  write_file(out, precious);
+  write_file(empty, "");
+  const CmdResult r =
+      run_cmd(bin("bench_trajectory") + " --out " + out + " " + empty);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("all 1 input report(s) were skipped"),
+            std::string::npos)
+      << r.output;
+  EXPECT_EQ(read_file(out), precious) << "--out must be left unchanged";
+  std::remove(out.c_str());
+  std::remove(empty.c_str());
+}
+
+}  // namespace
+}  // namespace flexnet

@@ -11,7 +11,11 @@
 // maximum accepted load per series}. When --out already exists its entries
 // are preserved and the new ones appended (the "cumulative" part: CI runs
 // download the previous artifact and re-run this tool); a corrupt or
-// foreign --out file is an error, never overwritten silently.
+// foreign --out file is an error, never overwritten silently. An input
+// report that is unreadable, empty, half-written, or partial (a single
+// shard's report or an incomplete merge — their zeroed slots would poison
+// the saturation numbers) is skipped with a warning so one bad report
+// never wedges or corrupts the fold.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -173,19 +177,61 @@ int main(int argc, char** argv) {
   for (auto& kv : doc.object)
     if (kv.first == "entries") entries = &kv.second;
 
+  // An unreadable, empty, or half-written report (a crashed shard or
+  // interrupted bench) is skipped with a warning rather than wedging the
+  // whole trajectory fold — the surviving reports still land in --out.
+  std::size_t skipped = 0;
+  const auto skip = [&](const std::string& input, const std::string& why) {
+    std::fprintf(stderr, "warning: skipping report %s: %s\n", input.c_str(),
+                 why.c_str());
+    ++skipped;
+  };
   for (const std::string& input : inputs) {
     std::string text;
     if (!read_file(input, &text)) {
-      std::fprintf(stderr, "error: cannot read report %s\n", input.c_str());
-      return 1;
+      skip(input, "cannot read file");
+      continue;
+    }
+    if (text.find_first_not_of(" \t\r\n") == std::string::npos) {
+      skip(input, "empty report");
+      continue;
     }
     std::string error;
     JsonValue report;
-    if (!json_parse(text, &report, &error) || !report.is_object()) {
-      std::fprintf(stderr, "error: %s: %s\n", input.c_str(), error.c_str());
-      return 1;
+    if (!json_parse(text, &report, &error)) {
+      skip(input, "invalid JSON (" + error + ")");
+      continue;
+    }
+    if (!report.is_object() || report.find("sweeps") == nullptr) {
+      skip(input, "not a sweep report (no 'sweeps')");
+      continue;
+    }
+    // Partial reports self-identify: a single shard's report (meta.shard)
+    // or a merge over an incomplete shard set (meta.missing_jobs) carries
+    // zeroed slots that would silently poison the saturation trajectory.
+    if (const JsonValue* meta = report.find("meta")) {
+      if (const JsonValue* shard = meta->find("shard")) {
+        skip(input, "partial report of shard " + shard->string_or("?") +
+                        " — merge the shard journals with flexnet_merge "
+                        "and fold the merged report instead");
+        continue;
+      }
+      if (meta->find("missing_jobs") != nullptr) {
+        skip(input, "incomplete merge (meta.missing_jobs) — re-run the "
+                    "missing shard(s) and merge again");
+        continue;
+      }
     }
     entries->array.push_back(summarize_report(report, input, label));
+  }
+  if (skipped == inputs.size()) {
+    // One bad report must not wedge the fold, but *zero* usable reports
+    // is a failed fold — leave --out untouched and say so.
+    std::fprintf(stderr,
+                 "error: all %zu input report(s) were skipped; %s left "
+                 "unchanged\n",
+                 skipped, out_path.c_str());
+    return 1;
   }
 
   const std::string rendered = json_serialize(doc, 0) + "\n";
@@ -195,8 +241,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
     return 1;
   }
-  std::fprintf(stderr, "%s: %zu entr%s total (+%zu)\n", out_path.c_str(),
-               entries->array.size(),
-               entries->array.size() == 1 ? "y" : "ies", inputs.size());
+  std::fprintf(stderr, "%s: %zu entr%s total (+%zu, %zu skipped)\n",
+               out_path.c_str(), entries->array.size(),
+               entries->array.size() == 1 ? "y" : "ies",
+               inputs.size() - skipped, skipped);
   return 0;
 }

@@ -1,0 +1,53 @@
+// Argument-parsing helpers shared by the suite tools (flexnet_run,
+// flexnet_merge). Keeping these in one place matters beyond tidiness: the
+// two tools must interpret flags and key=value overrides identically, or
+// a shard run and the merge that follows could materialize different
+// grids.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "scenario/suite.hpp"
+#include "sim/config.hpp"
+
+namespace flexnet::cli {
+
+/// True when argv[*i] is `--name VALUE` or `--name=VALUE`; stores VALUE
+/// and advances *i past a separate value argument. A flag with a missing
+/// value is a usage error (exit 2).
+inline bool flag_value(int argc, char** argv, int* i, const char* name,
+                       std::string* out) {
+  const std::string tok = argv[*i];
+  const std::string flag = std::string("--") + name;
+  if (tok == flag) {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "error: %s requires a value\n", flag.c_str());
+      std::exit(2);
+    }
+    *out = argv[++*i];
+    return true;
+  }
+  if (tok.rfind(flag + "=", 0) == 0) {
+    *out = tok.substr(flag.size() + 1);
+    return true;
+  }
+  return false;
+}
+
+/// Typo guard for key=value config overrides: a key SimConfig::apply
+/// would silently ignore is rejected with the full known-key list
+/// (running the wrong experiment silently is worse than an error).
+/// Returns true — after printing the diagnostic — when `key` is unknown.
+inline bool reject_unknown_config_key(const std::string& key) {
+  const auto& known = SimConfig::known_keys();
+  if (std::find(known.begin(), known.end(), key) != known.end())
+    return false;
+  std::fprintf(stderr, "error: unknown config key '%s' — known keys: %s\n",
+               key.c_str(), known_config_keys_list().c_str());
+  return true;
+}
+
+}  // namespace flexnet::cli

@@ -1,0 +1,218 @@
+// flexnet_merge: merge the checkpoint journals of N sharded
+// `flexnet_run SUITE.json --shard i/N --checkpoint ...` processes back
+// into one journal and the standard JSON sweep report.
+//
+//   flexnet_merge SUITE.json [--out MERGED.journal] [--json REPORT.json]
+//                 [key=value ...] SHARD.journal...
+//
+// The suite (plus any trailing key=value overrides, which must match the
+// ones passed to the shard runs) is materialized exactly as flexnet_run
+// materializes it, and every shard journal must carry that grid's
+// fingerprint — a journal from a different suite, config, load grid, or
+// seed count is rejected, as are two journals with conflicting results
+// for the same (point, seed) job. Duplicate identical records dedupe; a
+// torn trailing record in a shard journal (crashed shard) is ignored
+// without modifying the input file. Aggregation is the same seed-ordered
+// reduction the runner uses, so a merge of a complete shard set emits a
+// report bit-identical to a single-process run of the suite.
+//
+// Missing jobs (a shard that never ran or crashed early) are a warning,
+// not an error: the merged journal can seed a `--checkpoint` resume of
+// just the missing shard, and a re-merge then completes the report.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cli_util.hpp"
+#include "common/options.hpp"
+#include "runner/checkpoint.hpp"
+#include "runner/json_report.hpp"
+#include "runner/sweep_runner.hpp"
+#include "scenario/suite.hpp"
+#include "sim/config.hpp"
+#include "sim/experiment.hpp"
+
+namespace {
+
+using namespace flexnet;
+
+int usage(const char* argv0, std::FILE* out = stderr, int code = 2) {
+  std::fprintf(
+      out,
+      "usage: %s SUITE.json [--out MERGED.journal] [--json REPORT.json]\n"
+      "       %*s [key=value ...] SHARD.journal...\n"
+      "\n"
+      "Merges the --checkpoint journals of sharded flexnet_run processes\n"
+      "(--shard i/N) into one journal and the standard sweep report.\n"
+      "  --out PATH    write the merged journal to PATH\n"
+      "  --json PATH   write the aggregated JSON sweep report to PATH\n"
+      "  key=value     config overrides — must match the shard runs'\n"
+      "At least one of --out / --json is required.\n",
+      argv0, static_cast<int>(std::strlen(argv0)), "");
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string suite_path;
+  std::string out_path;
+  std::string json_path;
+  std::vector<std::string> journal_paths;
+  std::vector<const char*> overrides{argv[0]};
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string tok = argv[i];
+    const auto flag_value = [&](const char* name, std::string* out) {
+      return cli::flag_value(argc, argv, &i, name, out);
+    };
+    std::string value;
+    if (tok == "--help" || tok == "-h") {
+      return usage(argv[0], stdout, 0);
+    } else if (flag_value("out", &value)) {
+      out_path = value;
+    } else if (flag_value("json", &value)) {
+      json_path = value;
+    } else if (tok.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", tok.c_str());
+      return usage(argv[0]);
+    } else if (tok.find('=') != std::string::npos) {
+      const std::string key = tok.substr(0, tok.find('='));
+      const std::string val = tok.substr(tok.find('=') + 1);
+      // The key=value spellings flexnet_run accepts for its runner flags
+      // work here too (the two CLIs must read the same command lines).
+      if (key == "out") {
+        out_path = val;
+      } else if (key == "json") {
+        json_path = val;
+      } else {
+        // Same typo guard as flexnet_run: an unknown override key would
+        // rebuild a different grid and reject every journal confusingly.
+        if (cli::reject_unknown_config_key(key)) return 2;
+        overrides.push_back(argv[i]);
+      }
+    } else if (suite_path.empty()) {
+      suite_path = tok;
+    } else {
+      journal_paths.push_back(tok);
+    }
+  }
+  if (suite_path.empty() || journal_paths.empty()) return usage(argv[0]);
+  if (out_path.empty() && json_path.empty()) {
+    std::fprintf(stderr,
+                 "error: nothing to do — pass --out and/or --json\n");
+    return usage(argv[0]);
+  }
+
+  // --out must be a fresh path, checked before any file is opened or
+  // parsed: an existing file there could be a shard journal the user also
+  // listed as an input, and even probing it through CheckpointJournal
+  // would truncate its torn tail or append into it before any refusal.
+  if (!out_path.empty() && std::ifstream(out_path).good()) {
+    std::fprintf(stderr,
+                 "error: --out %s already exists; refusing to overwrite or "
+                 "append to it — pass a fresh path\n",
+                 out_path.c_str());
+    return 1;
+  }
+
+  try {
+    const Options cli = Options::parse(static_cast<int>(overrides.size()),
+                                       overrides.data());
+    const MaterializedSuite suite = materialize_for_run(suite_path, &cli);
+    const std::size_t num_points =
+        suite.grid.size() * suite.spec.loads.size();
+
+    // Read every shard journal (read-only, torn tails tolerated) and
+    // check it against the grid this suite + overrides materializes to.
+    std::vector<ShardJournal> shards;
+    shards.reserve(journal_paths.size());
+    for (const std::string& path : journal_paths) {
+      ShardJournal shard{path, read_journal(path)};
+      if (shard.contents.fingerprint != suite.fingerprint ||
+          shard.contents.points != num_points ||
+          shard.contents.seeds != suite.seeds) {
+        std::fprintf(
+            stderr,
+            "error: shard journal %s does not match this sweep grid — it "
+            "was written for a different suite, config, load grid, seed "
+            "count, or overrides\n",
+            path.c_str());
+        return 1;
+      }
+      shards.push_back(std::move(shard));
+    }
+
+    const std::vector<CheckpointRecord> records = merge_journals(shards);
+
+    // Coverage report: missing jobs are a warning (re-run the missing
+    // shard with --checkpoint, then re-merge), not silent zeros.
+    const std::size_t total_jobs =
+        num_points * static_cast<std::size_t>(suite.seeds);
+    const std::size_t missing = total_jobs - records.size();
+    if (missing > 0) {
+      std::fprintf(stderr,
+                   "warning: merged journals cover %zu of %zu jobs (%zu "
+                   "missing) — the report below is partial; re-run the "
+                   "missing shard(s) and merge again\n",
+                   records.size(), total_jobs, missing);
+    }
+
+    if (!out_path.empty()) {
+      CheckpointJournal merged(out_path);
+      merged.open(suite.fingerprint, num_points, suite.seeds);
+      for (const CheckpointRecord& rec : records)
+        merged.append(rec.point, rec.seed, rec.result);
+      merged.close();
+      if (merged.failed()) {
+        std::fprintf(stderr, "error: could not write merged journal %s\n",
+                     out_path.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "merged journal written to %s (%zu records)\n",
+                   out_path.c_str(), records.size());
+    }
+
+    if (!json_path.empty()) {
+      // The runner's aggregation path: one slot per (point, seed), filled
+      // from the merged records, reduced by the runner's own grid-order
+      // reduction — identical to SweepRunner::run on the same grid.
+      std::vector<std::vector<SimResult>> per_seed(
+          num_points,
+          std::vector<SimResult>(static_cast<std::size_t>(suite.seeds)));
+      for (const CheckpointRecord& rec : records)
+        per_seed[rec.point][static_cast<std::size_t>(rec.seed)] = rec.result;
+      const std::vector<SweepResult> sweeps = SweepRunner::reduce_slots(
+          suite.grid, suite.spec.loads, per_seed);
+
+      print_sweep_table(suite.spec.title, sweeps);
+      print_throughput_summary(suite.spec.title, sweeps);
+
+      JsonReport report;
+      report.set_meta("suite", suite_path);
+      report.set_meta("title", suite.spec.title);
+      if (!suite.spec.description.empty())
+        report.set_meta("description", suite.spec.description);
+      report.set_meta("config", suite.grid.front().config.summary());
+      report.set_meta("seeds", static_cast<std::int64_t>(suite.seeds));
+      report.set_meta("merged_shards",
+                      static_cast<std::int64_t>(shards.size()));
+      if (missing > 0)
+        report.set_meta("missing_jobs",
+                        static_cast<std::int64_t>(missing));
+      report.add_sweep(suite.spec.title, sweeps, 0.0);
+      if (!report.write_file(json_path)) {
+        std::fprintf(stderr, "error: could not write JSON report to %s\n",
+                     json_path.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "JSON report written to %s\n", json_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -2,7 +2,7 @@
 // scenario/suite.hpp) through the parallel sweep runner.
 //
 //   flexnet_run SUITE.json [--jobs N] [--json PATH] [--checkpoint PATH]
-//               [key=value ...]
+//               [--shard i/N] [key=value ...]
 //   flexnet_run --list
 //
 // The base configuration is the bench default (Table V at the FLEXNET_SCALE
@@ -10,9 +10,9 @@
 // figure bench bit-identically for any worker count; trailing key=value
 // tokens override it after the suite's "base" block (the series overrides
 // always win). --checkpoint journals every completed job and resumes an
-// interrupted run; --list prints every component registered with the
-// scenario registries and exits.
-#include <algorithm>
+// interrupted run; --shard i/N runs only the i-th of N disjoint job subsets
+// (one process per shard, merged back by tools/flexnet_merge); --list
+// prints every component registered with the scenario registries and exits.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -20,9 +20,11 @@
 #include <string>
 #include <vector>
 
+#include "cli_util.hpp"
 #include "common/options.hpp"
 #include "runner/checkpoint.hpp"
 #include "runner/json_report.hpp"
+#include "runner/shard.hpp"
 #include "runner/sweep_runner.hpp"
 #include "runner/thread_pool.hpp"
 #include "scenario/registry.hpp"
@@ -38,7 +40,7 @@ int usage(const char* argv0, std::FILE* out = stderr, int code = 2) {
   std::fprintf(
       out,
       "usage: %s SUITE.json [--jobs N] [--json PATH] [--checkpoint PATH]\n"
-      "       %*s [key=value ...]\n"
+      "       %*s [--shard i/N] [key=value ...]\n"
       "       %s --list\n"
       "\n"
       "Runs the scenario suite described by SUITE.json on the parallel\n"
@@ -46,6 +48,8 @@ int usage(const char* argv0, std::FILE* out = stderr, int code = 2) {
       "  --jobs N          worker threads (default: FLEXNET_JOBS or 1)\n"
       "  --json PATH       write a machine-readable sweep report to PATH\n"
       "  --checkpoint PATH journal completed jobs to PATH and resume from it\n"
+      "  --shard i/N       run only the i-th of N disjoint job subsets\n"
+      "                    (1-based); merge the journals with flexnet_merge\n"
       "  --list            print every registered component and exit\n"
       "  key=value         config overrides applied after the suite's base\n",
       argv0, static_cast<int>(std::strlen(argv0)), "", argv0);
@@ -77,27 +81,23 @@ int main(int argc, char** argv) {
   std::string suite_path;
   std::string json_path;
   std::string checkpoint_path;
+  ShardSpec shard;
   int jobs = ThreadPool::default_jobs();
   bool list = false;
   std::vector<const char*> overrides{argv[0]};
 
+  const auto parse_shard_or_die = [&](const std::string& value) {
+    std::string error;
+    if (!parse_shard_spec(value, &shard, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      std::exit(2);
+    }
+  };
+
   for (int i = 1; i < argc; ++i) {
     const std::string tok = argv[i];
     const auto flag_value = [&](const char* name, std::string* out) {
-      const std::string flag = std::string("--") + name;
-      if (tok == flag) {
-        if (i + 1 >= argc) {
-          std::fprintf(stderr, "error: %s requires a value\n", flag.c_str());
-          std::exit(2);
-        }
-        *out = argv[++i];
-        return true;
-      }
-      if (tok.rfind(flag + "=", 0) == 0) {
-        *out = tok.substr(flag.size() + 1);
-        return true;
-      }
-      return false;
+      return cli::flag_value(argc, argv, &i, name, out);
     };
     std::string value;
     if (tok == "--list") {
@@ -110,6 +110,8 @@ int main(int argc, char** argv) {
       json_path = value;
     } else if (flag_value("checkpoint", &value)) {
       checkpoint_path = value;
+    } else if (flag_value("shard", &value)) {
+      parse_shard_or_die(value);
     } else if (tok.rfind("--", 0) == 0) {
       std::fprintf(stderr, "error: unknown flag '%s'\n", tok.c_str());
       return usage(argv[0]);
@@ -123,17 +125,10 @@ int main(int argc, char** argv) {
         json_path = value;
       } else if (key == "checkpoint") {
         checkpoint_path = value;
+      } else if (key == "shard") {
+        parse_shard_or_die(value);
       } else {
-        // A typo'd override key would otherwise run the wrong experiment
-        // silently (SimConfig::apply ignores unknown keys) — reject it
-        // with the same key list suite files are validated against.
-        const auto& known = SimConfig::known_keys();
-        if (std::find(known.begin(), known.end(), key) == known.end()) {
-          std::fprintf(stderr,
-                       "error: unknown config key '%s' — known keys: %s\n",
-                       key.c_str(), known_config_keys_list().c_str());
-          return 2;
-        }
+        if (cli::reject_unknown_config_key(key)) return 2;
         overrides.push_back(argv[i]);
       }
     } else if (suite_path.empty()) {
@@ -149,28 +144,35 @@ int main(int argc, char** argv) {
   if (suite_path.empty()) return list ? 0 : usage(argv[0]);
 
   try {
-    const SuiteSpec spec = SuiteSpec::load(suite_path);
-
-    // Bench defaults: Table V at the FLEXNET_SCALE system so suite files
-    // reproduce the figure benches bit-identically (see bench_util.hpp).
-    const BenchScale scale = bench_scale();
-    SimConfig defaults;
-    defaults.dragonfly = scale.dragonfly;
-    defaults.warmup = scale.warmup;
-    defaults.measure = scale.measure;
-
+    // The same bench-default + suite + CLI-override grid flexnet_merge
+    // rebuilds to validate and aggregate shard journals.
     const Options cli = Options::parse(static_cast<int>(overrides.size()),
                                        overrides.data());
-    const std::vector<ExperimentSeries> grid = spec.materialize(defaults, &cli);
-    const int seeds = spec.seeds_or(scale.seeds);
+    const MaterializedSuite suite = materialize_for_run(suite_path, &cli);
+    const SuiteSpec& spec = suite.spec;
+    const std::vector<ExperimentSeries>& grid = suite.grid;
+    const int seeds = suite.seeds;
 
     std::fprintf(stderr, "%s: %zu series x %zu loads x %d seeds on %d "
                  "worker(s)\n",
                  spec.title.c_str(), grid.size(), spec.loads.size(), seeds,
                  jobs);
+    if (shard.sharded()) {
+      const ShardPlan plan(grid.size() * spec.loads.size(), seeds, shard);
+      std::fprintf(stderr,
+                   "  shard %s: %zu of %zu jobs (rows below cover only this "
+                   "shard; merge the journals with flexnet_merge)\n",
+                   shard.to_string().c_str(), plan.job_count(),
+                   plan.total_jobs());
+      if (checkpoint_path.empty())
+        std::fprintf(stderr,
+                     "  warning: --shard without --checkpoint discards this "
+                     "shard's results — nothing will be left to merge\n");
+    }
     const auto t0 = std::chrono::steady_clock::now();
     SweepRunner runner(jobs);
     runner.set_checkpoint(checkpoint_path);
+    runner.set_shard(shard);
     const std::vector<SweepResult> sweeps =
         runner.run(grid, spec.loads, seeds, progress);
     const double secs =
@@ -193,6 +195,7 @@ int main(int argc, char** argv) {
       report.set_meta("jobs", static_cast<std::int64_t>(jobs));
       if (!checkpoint_path.empty())
         report.set_meta("checkpoint", checkpoint_path);
+      if (shard.sharded()) report.set_meta("shard", shard.to_string());
       report.add_sweep(spec.title, sweeps, secs);
       if (!report.write_file(json_path)) {
         std::fprintf(stderr, "error: could not write JSON report to %s\n",
