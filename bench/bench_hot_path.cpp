@@ -1,0 +1,179 @@
+// bench_hot_path: cycles/sec microbenchmark of the per-cycle engine.
+//
+// Measures raw Network::step throughput — no sweep runner, no warmup
+// window, no metrics post-processing — on the smoke topology (the default
+// dragonfly (2,4,2) every CI suite runs) across three load regimes:
+// near-idle, the smoke suite's moderate load, and saturation. The
+// near-idle case is where an active-set core shines (cost tracks traffic,
+// not topology); the saturated case bounds the bookkeeping overhead when
+// every router is busy.
+//
+//   bench_hot_path [--cycles N] [--json PATH] [--label L] [key=value ...]
+//
+// The JSON report is a "microbench" document (not a sweep report);
+// tools/bench_trajectory folds it into BENCH_sweeps.json alongside the
+// sweep entries so the engine's cycles/sec is tracked commit over commit.
+// consumed/grants are echoed as a cheap cross-core checksum: two engines
+// that disagree on them are not simulating the same network.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/options.hpp"
+#include "runner/json_parser.hpp"
+#include "sim/config.hpp"
+#include "sim/network.hpp"
+
+namespace {
+
+using namespace flexnet;
+
+struct Case {
+  const char* name;
+  const char* policy;
+  const char* vcs;
+  const char* buffer_org;
+  double load;
+};
+
+constexpr Case kCases[] = {
+    {"baseline 2/1 load=0.05", "baseline", "2/1", "static", 0.05},
+    {"flexvc 4/2 load=0.60", "flexvc", "4/2", "static", 0.60},
+    {"flexvc 4/2 damq load=1.00", "flexvc", "4/2", "damq", 1.00},
+};
+
+struct CaseResult {
+  std::string name;
+  Cycle cycles = 0;
+  double wall_seconds = 0.0;
+  double cycles_per_sec = 0.0;
+  std::int64_t consumed = 0;
+  std::int64_t grants = 0;
+};
+
+CaseResult run_case(const Case& c, const SimConfig& base, Cycle cycles) {
+  SimConfig cfg = base;
+  cfg.policy = c.policy;
+  cfg.vcs = c.vcs;
+  cfg.buffer_org = c.buffer_org;
+  cfg.load = c.load;
+  Network net(cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (Cycle now = 0; now < cycles; ++now) net.step(now);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  CaseResult r;
+  r.name = c.name;
+  r.cycles = cycles;
+  r.wall_seconds = secs;
+  r.cycles_per_sec = secs > 0.0 ? static_cast<double>(cycles) / secs : 0.0;
+  r.consumed = net.metrics().consumed_packets();
+  r.grants = net.total_grants();
+  return r;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--cycles N] [--json PATH] [--label L] "
+               "[key=value ...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cycle cycles = 30000;
+  std::string json_path;
+  std::string label;
+  std::vector<const char*> rest{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string tok = argv[i];
+    const auto flag_value = [&](const char* name, std::string* out) {
+      if (tok == std::string("--") + name) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "error: --%s requires a value\n", name);
+          std::exit(2);
+        }
+        *out = argv[++i];
+        return true;
+      }
+      return false;
+    };
+    std::string value;
+    if (flag_value("cycles", &value)) {
+      cycles = std::max(1LL, static_cast<long long>(std::atoll(value.c_str())));
+    } else if (flag_value("json", &value)) {
+      json_path = value;
+    } else if (flag_value("label", &value)) {
+      label = value;
+    } else if (tok.rfind("--", 0) == 0) {
+      return usage(argv[0]);
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+
+  SimConfig base;
+  base.apply(Options::parse(static_cast<int>(rest.size()), rest.data()));
+
+  std::printf("hot-path microbench: dragonfly(p=%d,a=%d,h=%d), %lld cycles "
+              "per case\n",
+              base.dragonfly.p, base.dragonfly.a, base.dragonfly.h,
+              static_cast<long long>(cycles));
+  std::printf("%-28s %12s %10s %14s %10s %10s\n", "case", "cycles", "wall_s",
+              "cycles/sec", "consumed", "grants");
+
+  std::vector<CaseResult> results;
+  double log_sum = 0.0;
+  for (const Case& c : kCases) {
+    const CaseResult r = run_case(c, base, cycles);
+    std::printf("%-28s %12lld %10.3f %14.0f %10lld %10lld\n", r.name.c_str(),
+                static_cast<long long>(r.cycles), r.wall_seconds,
+                r.cycles_per_sec, static_cast<long long>(r.consumed),
+                static_cast<long long>(r.grants));
+    log_sum += std::log(r.cycles_per_sec);
+    results.push_back(r);
+  }
+  const double geomean =
+      std::exp(log_sum / static_cast<double>(results.size()));
+  std::printf("geomean cycles/sec: %.0f\n", geomean);
+
+  if (!json_path.empty()) {
+    JsonValue doc = JsonValue::make_object();
+    JsonValue meta = JsonValue::make_object();
+    meta.set("kind", JsonValue::make_string("hot_path_microbench"));
+    meta.set("config", JsonValue::make_string(base.summary()));
+    if (!label.empty()) meta.set("label", JsonValue::make_string(label));
+    doc.set("meta", std::move(meta));
+    JsonValue cases = JsonValue::make_array();
+    for (const CaseResult& r : results) {
+      JsonValue c = JsonValue::make_object();
+      c.set("name", JsonValue::make_string(r.name));
+      c.set("cycles", JsonValue::make_number(static_cast<double>(r.cycles)));
+      c.set("wall_seconds", JsonValue::make_number(r.wall_seconds));
+      c.set("cycles_per_sec", JsonValue::make_number(r.cycles_per_sec));
+      c.set("consumed_packets",
+            JsonValue::make_number(static_cast<double>(r.consumed)));
+      c.set("grants", JsonValue::make_number(static_cast<double>(r.grants)));
+      cases.array.push_back(std::move(c));
+    }
+    doc.set("microbench", std::move(cases));
+    doc.set("geomean_cycles_per_sec", JsonValue::make_number(geomean));
+    const std::string rendered = json_serialize(doc, 0) + "\n";
+    std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
+    if (!out.write(rendered.data(),
+                   static_cast<std::streamsize>(rendered.size()))) {
+      std::fprintf(stderr, "error: could not write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "microbench report written to %s\n",
+                 json_path.c_str());
+  }
+  return 0;
+}

@@ -62,22 +62,18 @@ void BM_BaselineCandidates(benchmark::State& state) {
 BENCHMARK(BM_BaselineCandidates);
 
 void BM_StaticBufferPushPop(benchmark::State& state) {
-  StaticBuffer buf(4, 256);
-  Packet pkt;
-  pkt.size = 8;
+  InputBuffer buf(4, 256);  // shared == 0: statically partitioned
   for (auto _ : state) {
-    buf.push(0, pkt);
+    buf.push(0, /*ref=*/1, /*phits=*/8);
     benchmark::DoNotOptimize(buf.pop(0));
   }
 }
 BENCHMARK(BM_StaticBufferPushPop);
 
 void BM_DamqBufferPushPop(benchmark::State& state) {
-  DamqBuffer buf(4, 24, 32);
-  Packet pkt;
-  pkt.size = 8;
+  InputBuffer buf(4, 24, 32);
   for (auto _ : state) {
-    buf.push(0, pkt);
+    buf.push(0, /*ref=*/1, /*phits=*/8);
     benchmark::DoNotOptimize(buf.pop(0));
   }
 }

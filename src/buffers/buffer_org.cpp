@@ -41,12 +41,9 @@ BufferGeometry make_geometry(BufferOrg org, int num_vcs, int total_phits,
   return g;
 }
 
-std::unique_ptr<InputBuffer> make_buffer(const BufferGeometry& geometry) {
-  if (geometry.shared == 0)
-    return std::make_unique<StaticBuffer>(geometry.num_vcs,
-                                          geometry.private_per_vc);
-  return std::make_unique<DamqBuffer>(geometry.num_vcs,
-                                      geometry.private_per_vc, geometry.shared);
+InputBuffer make_buffer(const BufferGeometry& geometry) {
+  return InputBuffer(geometry.num_vcs, geometry.private_per_vc,
+                     geometry.shared);
 }
 
 FLEXNET_REGISTER_BUFFER_ORG({

@@ -2,7 +2,6 @@
 // VCs (paper SII "Buffer organization and cost", SVI-C).
 #pragma once
 
-#include <memory>
 #include <string>
 
 #include "buffers/input_buffer.hpp"
@@ -35,6 +34,6 @@ const char* to_string(BufferOrg org);
 BufferGeometry make_geometry(BufferOrg org, int num_vcs, int total_phits,
                              double private_fraction = 0.75);
 
-std::unique_ptr<InputBuffer> make_buffer(const BufferGeometry& geometry);
+InputBuffer make_buffer(const BufferGeometry& geometry);
 
 }  // namespace flexnet

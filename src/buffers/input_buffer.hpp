@@ -1,68 +1,100 @@
-// Input buffer interface: per-VC packet queues with phit-granular capacity
-// accounting. Two implementations (paper SII, Fig 2):
-//   * StaticBuffer — statically partitioned, a fixed capacity per VC;
-//   * DamqBuffer   — dynamically allocated multi-queue: a private
-//                    reservation per VC plus a pool shared by all VCs.
+// Input buffer: per-VC packet-ref queues with phit-granular capacity
+// accounting. One concrete class covers both organizations of the paper
+// (SII, Fig 2) with no virtual dispatch on the hot path:
+//   * static  — shared_capacity == 0: a fixed private capacity per VC;
+//   * DAMQ    — shared_capacity  > 0: a private reservation per VC plus a
+//               pool shared by all VCs (private space is consumed first,
+//               matching the sender-side CreditLedger exactly).
+//
+// Queues hold PacketRef slots, not packets: the payload stays in the
+// PacketPool slab and a push/pop moves 8 bytes. The shared-pool usage is
+// tracked incrementally on push/pop (the same delta rule as
+// CreditLedger::add) instead of recomputed by a per-call VC scan.
 #pragma once
 
 #include <algorithm>
-#include <memory>
 #include <vector>
 
-#include "buffers/packet.hpp"
+#include "buffers/packet_pool.hpp"
 #include "common/check.hpp"
+#include "common/event_lane.hpp"
 
 namespace flexnet {
 
-class InputBuffer {
+/// One queued packet: its pool slot and its size in phits (denormalized so
+/// occupancy accounting never touches the slab).
+struct BufferSlot {
+  PacketRef ref = kInvalidPacketRef;
+  std::int32_t phits = 0;
+};
+
+class InputBuffer final {
  public:
-  virtual ~InputBuffer() = default;
+  /// `shared_capacity` == 0 builds a statically partitioned buffer;
+  /// > 0 builds a DAMQ with `private_per_vc` reserved per VC.
+  InputBuffer(int num_vcs, int private_per_vc, int shared_capacity = 0)
+      : private_per_vc_(private_per_vc),
+        shared_capacity_(shared_capacity),
+        queues_(static_cast<std::size_t>(num_vcs)),
+        occupancy_(static_cast<std::size_t>(num_vcs), 0) {}
 
   int num_vcs() const { return static_cast<int>(queues_.size()); }
+  bool is_damq() const { return shared_capacity_ > 0; }
+  int private_per_vc() const { return private_per_vc_; }
+  int shared_capacity() const { return shared_capacity_; }
 
   /// Space check used by the receiver on arrival; the sender-side
   /// CreditLedger mirrors the same rule so a granted send never overflows.
-  virtual bool can_accept(VcIndex vc, int phits) const = 0;
+  bool can_accept(VcIndex vc, int phits) const {
+    return free_for(vc) >= phits;
+  }
 
-  /// Free phits currently available to this VC (its private remainder plus
-  /// any shared remainder for a DAMQ).
-  virtual int free_for(VcIndex vc) const = 0;
+  /// Free phits currently available to this VC: its private remainder plus
+  /// any shared remainder.
+  int free_for(VcIndex vc) const {
+    const int occ = occupancy_[static_cast<std::size_t>(vc)];
+    const int private_free = private_per_vc_ - std::min(occ, private_per_vc_);
+    return private_free + shared_capacity_ - shared_used_;
+  }
 
   /// Total capacity of the port's memory in phits.
-  virtual int total_capacity() const = 0;
+  int total_capacity() const {
+    return private_per_vc_ * num_vcs() + shared_capacity_;
+  }
 
-  void push(VcIndex vc, const Packet& pkt) {
-    FLEXNET_DCHECK(can_accept(vc, pkt.size));
-    occupancy_[static_cast<std::size_t>(vc)] += pkt.size;
-    total_occupancy_ += pkt.size;
-    queues_[static_cast<std::size_t>(vc)].push_back(pkt);
+  void push(VcIndex vc, PacketRef ref, int phits) {
+    FLEXNET_DCHECK(can_accept(vc, phits));
+    auto& occ = occupancy_[static_cast<std::size_t>(vc)];
+    const int spilled_before = std::max(0, occ - private_per_vc_);
+    occ += phits;
+    shared_used_ += std::max(0, occ - private_per_vc_) - spilled_before;
+    total_occupancy_ += phits;
+    queues_[static_cast<std::size_t>(vc)].push_back(BufferSlot{ref, phits});
   }
 
   bool empty(VcIndex vc) const {
     return queues_[static_cast<std::size_t>(vc)].empty();
   }
 
-  /// Head-of-queue packet, or nullptr. Only the head can be routed: this is
-  /// the FIFO order whose blocking FlexVC mitigates by spreading packets
-  /// over more VCs (not by reordering within one).
-  const Packet* front(VcIndex vc) const {
+  /// Head-of-queue packet ref, or kInvalidPacketRef. Only the head can be
+  /// routed: this is the FIFO order whose blocking FlexVC mitigates by
+  /// spreading packets over more VCs (not by reordering within one).
+  PacketRef front(VcIndex vc) const {
     const auto& q = queues_[static_cast<std::size_t>(vc)];
-    return q.empty() ? nullptr : &q.front();
+    return q.empty() ? kInvalidPacketRef : q.front().ref;
   }
 
-  Packet* front(VcIndex vc) {
-    auto& q = queues_[static_cast<std::size_t>(vc)];
-    return q.empty() ? nullptr : &q.front();
-  }
-
-  Packet pop(VcIndex vc) {
+  BufferSlot pop(VcIndex vc) {
     auto& q = queues_[static_cast<std::size_t>(vc)];
     FLEXNET_DCHECK(!q.empty());
-    Packet pkt = q.front();
-    q.erase(q.begin());
-    occupancy_[static_cast<std::size_t>(vc)] -= pkt.size;
-    total_occupancy_ -= pkt.size;
-    return pkt;
+    const BufferSlot slot = q.front();
+    q.pop_front();
+    auto& occ = occupancy_[static_cast<std::size_t>(vc)];
+    const int spilled_before = std::max(0, occ - private_per_vc_);
+    occ -= slot.phits;
+    shared_used_ += std::max(0, occ - private_per_vc_) - spilled_before;
+    total_occupancy_ -= slot.phits;
+    return slot;
   }
 
   /// Occupied phits in one VC / in the whole port.
@@ -71,84 +103,21 @@ class InputBuffer {
   }
   int occupancy() const { return total_occupancy_; }
 
+  /// Phits drawn from the shared pool (overflow beyond private space).
+  int shared_used() const { return shared_used_; }
+
   /// Packets queued in one VC.
   int packets(VcIndex vc) const {
     return static_cast<int>(queues_[static_cast<std::size_t>(vc)].size());
   }
 
- protected:
-  explicit InputBuffer(int num_vcs)
-      : queues_(static_cast<std::size_t>(num_vcs)),
-        occupancy_(static_cast<std::size_t>(num_vcs), 0) {}
-
- private:
-  std::vector<std::vector<Packet>> queues_;
-  std::vector<int> occupancy_;
-  int total_occupancy_ = 0;
-};
-
-/// Statically partitioned buffer: `capacity_per_vc` phits per VC.
-class StaticBuffer final : public InputBuffer {
- public:
-  StaticBuffer(int num_vcs, int capacity_per_vc)
-      : InputBuffer(num_vcs), capacity_per_vc_(capacity_per_vc) {}
-
-  bool can_accept(VcIndex vc, int phits) const override {
-    return occupancy(vc) + phits <= capacity_per_vc_;
-  }
-
-  int free_for(VcIndex vc) const override {
-    return capacity_per_vc_ - occupancy(vc);
-  }
-
-  int total_capacity() const override {
-    return capacity_per_vc_ * num_vcs();
-  }
-
-  int capacity_per_vc() const { return capacity_per_vc_; }
-
- private:
-  int capacity_per_vc_;
-};
-
-/// DAMQ buffer: every VC owns `private_per_vc` phits; the remaining
-/// `shared_capacity` phits are allocated on demand to any VC (private space
-/// is consumed first, matching the sender-side credit ledger).
-class DamqBuffer final : public InputBuffer {
- public:
-  DamqBuffer(int num_vcs, int private_per_vc, int shared_capacity)
-      : InputBuffer(num_vcs),
-        private_per_vc_(private_per_vc),
-        shared_capacity_(shared_capacity) {}
-
-  bool can_accept(VcIndex vc, int phits) const override {
-    return free_for(vc) >= phits;
-  }
-
-  int free_for(VcIndex vc) const override {
-    const int private_free =
-        private_per_vc_ - std::min(occupancy(vc), private_per_vc_);
-    return private_free + shared_capacity_ - shared_used();
-  }
-
-  int total_capacity() const override {
-    return private_per_vc_ * num_vcs() + shared_capacity_;
-  }
-
-  int private_per_vc() const { return private_per_vc_; }
-  int shared_capacity() const { return shared_capacity_; }
-
-  /// Phits drawn from the shared pool (overflow beyond private space).
-  int shared_used() const {
-    int used = 0;
-    for (VcIndex vc = 0; vc < num_vcs(); ++vc)
-      used += std::max(0, occupancy(vc) - private_per_vc_);
-    return used;
-  }
-
  private:
   int private_per_vc_;
   int shared_capacity_;
+  int shared_used_ = 0;
+  int total_occupancy_ = 0;
+  std::vector<EventLane<BufferSlot>> queues_;
+  std::vector<int> occupancy_;
 };
 
 }  // namespace flexnet

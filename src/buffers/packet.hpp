@@ -4,6 +4,11 @@
 // of `size` phits reserves its full size in a buffer on arrival (virtual
 // cut-through), serializes over `size` cycles on each link, and frees its
 // space when its tail leaves a buffer.
+// Packets live in a PacketPool slab from injection to consumption and move
+// through buffers and links as 4-byte PacketRef indices, so this struct is
+// deliberately lean: per-hop diagnostics (the router trace) are kept in an
+// opt-in side store (see Network / FLEXNET_DEBUG_STUCK) rather than inside
+// every packet.
 #pragma once
 
 #include <array>
@@ -47,17 +52,6 @@ struct Packet {
 
   Cycle created = 0;   ///< cycle the generator produced the packet
   Cycle injected = 0;  ///< cycle the head entered the network
-
-  /// Trajectory of routers visited (diagnostics; bounded by the longest
-  /// allowed path plus escape reroutes).
-  static constexpr int kTraceCapacity = 16;
-  std::array<std::int16_t, kTraceCapacity> trace{};
-  int trace_len = 0;
-
-  void record_hop(RouterId r) {
-    if (trace_len < kTraceCapacity)
-      trace[static_cast<std::size_t>(trace_len++)] = static_cast<std::int16_t>(r);
-  }
 };
 
 }  // namespace flexnet

@@ -1,0 +1,119 @@
+// Flat containers of the active-set simulation core.
+//
+// EventLane<T> is a growable power-of-two ring buffer used for every
+// time-ordered FIFO on the hot path: per-link in-flight packet and credit
+// lanes, per-VC input queues, and the router output pipelines. Events are
+// pushed with non-decreasing readiness cycles (the simulation clock is
+// monotone and each lane's latency is fixed), so a lane is drained by
+// popping from the head while due — no sorting, no per-node allocation,
+// no pointer chasing, unlike the std::deque chunks it replaces.
+//
+// ActiveSet tracks which ids (links, routers) currently have pending work.
+// Membership is O(1) via a byte per id; iteration sorts the member list so
+// a sweep always visits ids in ascending order — the same order the old
+// full scans used, which is what keeps results bit-identical no matter in
+// which order work was discovered.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace flexnet {
+
+template <typename T>
+class EventLane {
+ public:
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  const T& front() const {
+    FLEXNET_DCHECK(size_ > 0);
+    return buf_[head_];
+  }
+
+  /// i-th element from the head (diagnostics / tests only).
+  const T& at(std::size_t i) const {
+    FLEXNET_DCHECK(i < size_);
+    return buf_[(head_ + i) & mask_];
+  }
+
+  void push_back(const T& v) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & mask_] = v;
+    ++size_;
+  }
+
+  void pop_front() {
+    FLEXNET_DCHECK(size_ > 0);
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < size_; ++i)
+      next[i] = buf_[(head_ + i) & mask_];
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = cap - 1;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+class ActiveSet {
+ public:
+  void resize(std::size_t n) {
+    member_.assign(n, 0);
+    ids_.clear();
+  }
+
+  std::size_t size() const { return ids_.size(); }
+
+  /// Marks `id` active; idempotent.
+  void add(std::int32_t id) {
+    if (member_[static_cast<std::size_t>(id)]) return;
+    member_[static_cast<std::size_t>(id)] = 1;
+    ids_.push_back(id);
+  }
+
+  /// Visits every active id in ascending order. `work(id)` returns true to
+  /// keep the id active, false to retire it. `work` must not add ids to
+  /// *this* set (sets feed each other, never themselves — an addition
+  /// during its own sweep would invalidate the iteration).
+  template <typename WorkFn>
+  void sweep(WorkFn&& work) {
+    std::sort(ids_.begin(), ids_.end());
+    const std::size_t n = ids_.size();
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int32_t id = ids_[i];
+      FLEXNET_DCHECK(ids_.size() == n);
+      if (work(id)) {
+        ids_[kept++] = id;
+      } else {
+        member_[static_cast<std::size_t>(id)] = 0;
+      }
+    }
+    ids_.resize(kept);
+  }
+
+ private:
+  std::vector<std::uint8_t> member_;
+  std::vector<std::int32_t> ids_;
+};
+
+}  // namespace flexnet

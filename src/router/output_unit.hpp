@@ -7,17 +7,20 @@
 // clocked faster than the link (router speedup 2x), which is modeled by
 // allowing `speedup` grants per link cycle into this buffer while the
 // serializer drains at link rate.
+//
+// The pipeline stores PacketRef slots (payloads stay in the PacketPool
+// slab) in a flat ring — entries are pushed with non-decreasing ready
+// cycles, so head-pop order is ready order.
 #pragma once
 
-#include <deque>
-
-#include "buffers/packet.hpp"
+#include "buffers/packet_pool.hpp"
 #include "common/check.hpp"
+#include "common/event_lane.hpp"
 #include "common/types.hpp"
 
 namespace flexnet {
 
-class OutputUnit {
+class OutputUnit final {
  public:
   OutputUnit(int buffer_capacity, int pipeline_latency)
       : capacity_(buffer_capacity), pipeline_latency_(pipeline_latency) {}
@@ -25,12 +28,13 @@ class OutputUnit {
   /// Space check used by the allocator before granting.
   bool can_reserve(int phits) const { return occupancy_ + phits <= capacity_; }
 
-  /// Accepts a granted packet: space is reserved now; the packet reaches the
-  /// buffer head after the pipeline latency.
-  void accept(const Packet& pkt, VcIndex downstream_vc, Cycle now) {
-    FLEXNET_DCHECK(can_reserve(pkt.size));
-    occupancy_ += pkt.size;
-    pipeline_.push_back(Entry{pkt, downstream_vc, now + pipeline_latency_});
+  /// Accepts a granted packet of `phits` phits: space is reserved now; the
+  /// packet reaches the buffer head after the pipeline latency.
+  void accept(PacketRef ref, int phits, VcIndex downstream_vc, Cycle now) {
+    FLEXNET_DCHECK(can_reserve(phits));
+    occupancy_ += phits;
+    pipeline_.push_back(Entry{ref, phits, downstream_vc,
+                              now + pipeline_latency_});
   }
 
   /// True when a packet is ready to start serializing onto the link.
@@ -40,15 +44,15 @@ class OutputUnit {
   }
 
   /// Starts transmitting the head packet; the link stays busy for the
-  /// packet's serialization time. Returns the packet and its target VC.
-  Packet start_send(Cycle now, VcIndex& downstream_vc) {
+  /// packet's serialization time. Returns the packet ref and its target VC.
+  PacketRef start_send(Cycle now, VcIndex& downstream_vc) {
     FLEXNET_DCHECK(ready_to_send(now));
-    Entry e = pipeline_.front();
+    const Entry e = pipeline_.front();
     pipeline_.pop_front();
-    occupancy_ -= e.pkt.size;
-    link_busy_until_ = now + e.pkt.size;
+    occupancy_ -= e.phits;
+    link_busy_until_ = now + e.phits;
     downstream_vc = e.vc;
-    return e.pkt;
+    return e.ref;
   }
 
   int occupancy() const { return occupancy_; }
@@ -58,16 +62,17 @@ class OutputUnit {
 
  private:
   struct Entry {
-    Packet pkt;
-    VcIndex vc;
-    Cycle ready;
+    PacketRef ref = kInvalidPacketRef;
+    std::int32_t phits = 0;
+    VcIndex vc = kInvalidVc;
+    Cycle ready = 0;
   };
 
   int capacity_;
   int pipeline_latency_;
   int occupancy_ = 0;
   Cycle link_busy_until_ = 0;
-  std::deque<Entry> pipeline_;
+  EventLane<Entry> pipeline_;
 };
 
 }  // namespace flexnet

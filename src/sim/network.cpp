@@ -1,6 +1,10 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "common/check.hpp"
 #include "core/admissibility.hpp"
@@ -68,34 +72,63 @@ int Network::num_outputs(RouterId r) const {
 
 int Network::eject_output_index(RouterId r, int node_local,
                                 MsgClass cls) const {
-  return topo_->num_network_ports(r) + node_local * kNumMsgClasses +
-         static_cast<int>(cls);
+  return net_ports(r) + node_local * kNumMsgClasses + static_cast<int>(cls);
 }
 
 void Network::build() {
   const VcTemplate& tmpl = policy_->tmpl();
   Rng base(config_.seed);
 
-  const int num_routers = topo_->num_routers();
-  routers_.resize(static_cast<std::size_t>(num_routers));
-  link_index_.resize(static_cast<std::size_t>(num_routers));
+  {
+    const char* env = std::getenv("FLEXNET_DEBUG_STUCK");
+    debug_stuck_ = env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+  }
 
+  const int num_routers = topo_->num_routers();
+  const int inj_ports = topo_->concentration();
   const BufferOrg org = buffer_org_registry().at(config_.buffer_org).make();
 
+  // Offset tables (with sentinels) first, then one flat reserve per array:
+  // the whole router state is a handful of contiguous allocations.
+  link_index_.resize(static_cast<std::size_t>(num_routers) + 1);
+  in_index_.resize(static_cast<std::size_t>(num_routers) + 1);
+  output_index_.resize(static_cast<std::size_t>(num_routers) + 1);
   int total_links = 0;
+  int total_inputs = 0;
+  int total_outputs = 0;
+  // Concentration is uniform, so the per-router maxima follow from the
+  // widest router's network port count.
+  const int max_inputs = topo_->max_network_ports() + inj_ports;
+  const int max_outputs =
+      topo_->max_network_ports() + inj_ports * kNumMsgClasses;
   for (RouterId r = 0; r < num_routers; ++r) {
     link_index_[static_cast<std::size_t>(r)] = total_links;
-    total_links += topo_->num_network_ports(r);
+    in_index_[static_cast<std::size_t>(r)] = total_inputs;
+    output_index_[static_cast<std::size_t>(r)] = total_outputs;
+    const int ports = topo_->num_network_ports(r);
+    total_links += ports;
+    total_inputs += ports + inj_ports;
+    total_outputs += num_outputs(r);
   }
+  FLEXNET_CHECK(total_links == topo_->total_network_ports());
+  link_index_[static_cast<std::size_t>(num_routers)] = total_links;
+  in_index_[static_cast<std::size_t>(num_routers)] = total_inputs;
+  output_index_[static_cast<std::size_t>(num_routers)] = total_outputs;
+
   links_.resize(static_cast<std::size_t>(total_links));
+  out_.reserve(static_cast<std::size_t>(total_links));
+  ledger_.reserve(static_cast<std::size_t>(total_links));
+  in_.reserve(static_cast<std::size_t>(total_inputs));
+  in_arb_.reserve(static_cast<std::size_t>(total_inputs));
+  commit_index_.reserve(static_cast<std::size_t>(total_inputs));
+  out_arb_.reserve(static_cast<std::size_t>(total_outputs));
+  rng_.reserve(static_cast<std::size_t>(num_routers));
 
   for (RouterId r = 0; r < num_routers; ++r) {
-    RouterState& rs = routers_[static_cast<std::size_t>(r)];
-    rs.rng = base.split(static_cast<std::uint64_t>(r));
-    const int net_ports = topo_->num_network_ports(r);
-    const int inj_ports = topo_->concentration();
+    rng_.push_back(base.split(static_cast<std::uint64_t>(r)));
+    const int ports = topo_->num_network_ports(r);
 
-    for (PortIndex p = 0; p < net_ports; ++p) {
+    for (PortIndex p = 0; p < ports; ++p) {
       const PortDesc& desc = topo_->port(r, p);
       const bool global = desc.type == LinkType::kGlobal;
       const int vcs = tmpl.vcs_per_port(desc.type);
@@ -106,32 +139,27 @@ void Network::build() {
       const int total = port_cap > 0 ? port_cap : per_vc * vcs;
       const BufferGeometry geom =
           make_geometry(org, vcs, total, config_.damq_private_fraction);
-      rs.in.push_back(make_buffer(geom));
-      rs.out.emplace_back(config_.output_buffer, config_.pipeline_latency);
-      rs.ledger.emplace_back(geom.num_vcs, geom.private_per_vc, geom.shared);
+      in_.push_back(make_buffer(geom));
+      out_.emplace_back(config_.output_buffer, config_.pipeline_latency);
+      ledger_.emplace_back(geom.num_vcs, geom.private_per_vc, geom.shared);
 
-      DirLink& link = link_of(r, p);
+      DirLink& link = links_[static_cast<std::size_t>(link_at(r, p))];
       link.to = desc.neighbor;
       link.to_port = desc.neighbor_port;
       link.latency = global ? config_.global_latency : config_.local_latency;
     }
     for (int j = 0; j < inj_ports; ++j) {
-      rs.in.push_back(std::make_unique<StaticBuffer>(
-          config_.injection_vcs, config_.injection_buffer_per_vc));
+      in_.emplace_back(config_.injection_vcs, config_.injection_buffer_per_vc);
     }
 
-    const int inputs = net_ports + inj_ports;
-    rs.in_arb.reserve(static_cast<std::size_t>(inputs));
-    rs.commits.resize(static_cast<std::size_t>(inputs));
-    for (int i = 0; i < inputs; ++i) {
-      rs.in_arb.emplace_back(rs.in[static_cast<std::size_t>(i)]->num_vcs());
-      rs.commits[static_cast<std::size_t>(i)].resize(
-          static_cast<std::size_t>(rs.in[static_cast<std::size_t>(i)]->num_vcs()));
+    for (int i = 0; i < ports + inj_ports; ++i) {
+      const int vcs = in_[static_cast<std::size_t>(input_at(r, i))].num_vcs();
+      in_arb_.emplace_back(vcs);
+      commit_index_.push_back(static_cast<int>(commits_.size()));
+      commits_.resize(commits_.size() + static_cast<std::size_t>(vcs));
     }
-    rs.out_arb.assign(static_cast<std::size_t>(num_outputs(r)),
-                      RoundRobinArbiter(inputs));
-    rs.input_matched.assign(static_cast<std::size_t>(inputs), false);
-    rs.output_matched.assign(static_cast<std::size_t>(num_outputs(r)), false);
+    for (int o = 0; o < num_outputs(r); ++o)
+      out_arb_.emplace_back(ports + inj_ports);
   }
 
   // Nodes.
@@ -142,45 +170,55 @@ void Network::build() {
         n, config_, *pattern_, base.split(0x100000 + static_cast<std::uint64_t>(n))));
   }
 
-  scratch_requests_.resize(64);
+  // Active-set bookkeeping and hot-path scratch, sized from the real
+  // topology maxima (the allocator never resizes anything per cycle).
+  router_buffered_.assign(static_cast<std::size_t>(num_routers), 0);
+  router_in_pipe_.assign(static_cast<std::size_t>(num_routers), 0);
+  active_links_.resize(static_cast<std::size_t>(total_links));
+  alloc_routers_.resize(static_cast<std::size_t>(num_routers));
+  send_routers_.resize(static_cast<std::size_t>(num_routers));
+  scratch_requests_.resize(static_cast<std::size_t>(max_outputs));
+  in_matched_.assign(static_cast<std::size_t>(max_inputs), 0);
+  out_matched_.assign(static_cast<std::size_t>(max_outputs), 0);
 }
 
 int Network::port_occupancy(RouterId r, PortIndex p, bool min_only) const {
-  const CreditLedger& ledger =
-      routers_[static_cast<std::size_t>(r)].ledger[static_cast<std::size_t>(p)];
+  const CreditLedger& ledger = ledger_[static_cast<std::size_t>(link_at(r, p))];
   return min_only ? ledger.occupied_min_port() : ledger.occupied_port();
 }
 
 int Network::vc_occupancy(RouterId r, PortIndex p, VcIndex vc,
                           bool min_only) const {
-  const CreditLedger& ledger =
-      routers_[static_cast<std::size_t>(r)].ledger[static_cast<std::size_t>(p)];
+  const CreditLedger& ledger = ledger_[static_cast<std::size_t>(link_at(r, p))];
   return min_only ? ledger.occupied_min(vc) : ledger.occupied(vc);
 }
 
 int Network::input_occupancy(RouterId r, PortIndex p, VcIndex vc) const {
-  return routers_[static_cast<std::size_t>(r)]
-      .in[static_cast<std::size_t>(p)]
-      ->occupancy(vc);
+  return in_[static_cast<std::size_t>(input_at(r, p))].occupancy(vc);
 }
 
 void Network::debug_dump_stuck(Cycle now, Cycle min_age) const {
+  if (!debug_stuck_) return;  // opt-in: see FLEXNET_DEBUG_STUCK
   int shown = 0;
   for (RouterId r = 0; r < topo_->num_routers() && shown < 40; ++r) {
-    const RouterState& rs = routers_[static_cast<std::size_t>(r)];
-    for (std::size_t p = 0; p < rs.in.size(); ++p) {
-      for (VcIndex vc = 0; vc < rs.in[p]->num_vcs(); ++vc) {
-        const Packet* head = rs.in[p]->front(vc);
-        if (head == nullptr || now - head->created < min_age) continue;
+    const int inputs = num_inputs(r);
+    for (PortIndex p = 0; p < inputs; ++p) {
+      const InputBuffer& buf = in_[static_cast<std::size_t>(input_at(r, p))];
+      for (VcIndex vc = 0; vc < buf.num_vcs(); ++vc) {
+        const PacketRef href = buf.front(vc);
+        if (href == kInvalidPacketRef) continue;
+        const Packet& head = pool_[href];
+        if (now - head.created < min_age) continue;
         std::string trace;
-        for (int t = 0; t < head->trace_len; ++t)
-          trace += std::to_string(head->trace[static_cast<std::size_t>(t)]) + ">";
+        if (static_cast<std::size_t>(href) < traces_.size())
+          for (const std::int16_t hop : traces_[static_cast<std::size_t>(href)])
+            trace += std::to_string(hop) + ">";
         // Replay the routing decision for this head.
         std::string why;
         {
           std::vector<RouteOption> opts;
           Rng rng(1);
-          routing_->route(*head, r, rng, opts);
+          routing_->route(head, r, rng, opts);
           for (const auto& opt : opts) {
             why += " opt[port=" + std::to_string(opt.out_port) +
                    (opt.ejection ? "(eject)" : "") +
@@ -190,15 +228,15 @@ void Network::debug_dump_stuck(Cycle now, Cycle min_age) const {
             if (!opt.ejection) {
               std::vector<VcCandidate> cands;
               HopContext ctx;
-              ctx.cls = head->cls;
+              ctx.cls = head.cls;
               ctx.hop_type = opt.hop_type;
-              ctx.position = head->vc_position;
-              ctx.floors = {head->type_floors[0], head->type_floors[1]};
+              ctx.position = head.vc_position;
+              ctx.floors = {head.type_floors[0], head.type_floors[1]};
               ctx.intended_after = opt.intended_after;
               ctx.escape_after = opt.escape_after;
               policy_->candidates(ctx, cands);
-              const auto& lg = rs.ledger[static_cast<std::size_t>(opt.out_port)];
-              const auto& ou = rs.out[static_cast<std::size_t>(opt.out_port)];
+              const auto& lg = ledger_[static_cast<std::size_t>(link_at(r, opt.out_port))];
+              const auto& ou = out_[static_cast<std::size_t>(link_at(r, opt.out_port))];
               why += "obuf=" + std::to_string(ou.occupancy()) + "/" +
                      std::to_string(ou.capacity());
               for (const auto& c : cands)
@@ -210,16 +248,16 @@ void Network::debug_dump_stuck(Cycle now, Cycle min_age) const {
           }
         }
         std::fprintf(stderr,
-                     "stuck r=%d port=%zu vc=%d pos=%d cls=%d kind=%d "
+                     "stuck r=%d port=%d vc=%d pos=%d cls=%d kind=%d "
                      "valiant=%d reached=%d hops=%d age=%lld src_r=%d dst_r=%d "
                      "pkts_in_vc=%d trace=%s\n",
-                     r, p, vc, head->vc_position,
-                     static_cast<int>(head->cls),
-                     static_cast<int>(head->route_kind), head->valiant,
-                     head->valiant_reached, head->hops,
-                     static_cast<long long>(now - head->created),
-                     topo_->router_of_node(head->src),
-                     topo_->router_of_node(head->dst), rs.in[p]->packets(vc),
+                     r, p, vc, head.vc_position,
+                     static_cast<int>(head.cls),
+                     static_cast<int>(head.route_kind), head.valiant,
+                     head.valiant_reached, head.hops,
+                     static_cast<long long>(now - head.created),
+                     topo_->router_of_node(head.src),
+                     topo_->router_of_node(head.dst), buf.packets(vc),
                      (trace + why).c_str());
         if (++shown >= 40) return;
       }
@@ -231,49 +269,46 @@ void Network::step(Cycle now) {
   deliver(now);
   routing_->update(now);
   for (auto& node : nodes_) node->step(now, *this);
-  for (RouterId r = 0; r < topo_->num_routers(); ++r) allocate(r, now);
-  for (RouterId r = 0; r < topo_->num_routers(); ++r) send(r, now);
+  alloc_routers_.sweep([&](std::int32_t r) {
+    allocate(r, now);
+    return router_buffered_[static_cast<std::size_t>(r)] > 0;
+  });
+  send_routers_.sweep([&](std::int32_t r) {
+    send(r, now);
+    return router_in_pipe_[static_cast<std::size_t>(r)] > 0;
+  });
 }
 
 void Network::deliver(Cycle now) {
-  for (std::size_t i = 0; i < links_.size(); ++i) {
-    DirLink& link = links_[i];
+  active_links_.sweep([&](std::int32_t li) {
+    DirLink& link = links_[static_cast<std::size_t>(li)];
     while (!link.data.empty() && link.data.front().arrive <= now) {
-      FlyingPacket& fp = link.data.front();
-      routers_[static_cast<std::size_t>(link.to)]
-          .in[static_cast<std::size_t>(link.to_port)]
-          ->push(fp.vc, fp.pkt);
+      const FlyingPacket fp = link.data.front();
       link.data.pop_front();
+      in_[static_cast<std::size_t>(input_at(link.to, link.to_port))].push(
+          fp.vc, fp.ref, pool_[fp.ref].size);
+      ++router_buffered_[static_cast<std::size_t>(link.to)];
+      alloc_routers_.add(link.to);
     }
-  }
-  // Credits travel on the reverse channel of each link back to its sender's
-  // ledger; the sender is recovered from the flat link index.
-  RouterId owner = 0;
-  for (std::size_t i = 0; i < links_.size(); ++i) {
-    while (owner + 1 < topo_->num_routers() &&
-           static_cast<int>(i) >=
-               link_index_[static_cast<std::size_t>(owner + 1)]) {
-      ++owner;
-    }
-    DirLink& link = links_[i];
-    const PortIndex port =
-        static_cast<PortIndex>(static_cast<int>(i) -
-                               link_index_[static_cast<std::size_t>(owner)]);
+    // Credits travel on the reverse channel back to the sender's ledger.
+    // Ledgers are link-indexed, so the owning ledger of link li *is*
+    // ledger_[li]: build() bakes the link→(owner, port) mapping into the
+    // flat index itself — no per-cycle owner-recovery scan.
+    CreditLedger& ledger = ledger_[static_cast<std::size_t>(li)];
     while (!link.credits.empty() && link.credits.front().arrive <= now) {
       const FlyingCredit& fc = link.credits.front();
-      routers_[static_cast<std::size_t>(owner)]
-          .ledger[static_cast<std::size_t>(port)]
-          .on_credit(fc.vc, fc.phits, fc.kind);
+      ledger.on_credit(fc.vc, fc.phits, fc.kind);
       link.credits.pop_front();
     }
-  }
+    return !link.data.empty() || !link.credits.empty();
+  });
 }
 
 bool Network::try_inject(NodeId n, Packet& pkt, Cycle now) {
   const RouterId r = topo_->router_of_node(n);
   const int node_local = n % topo_->concentration();
-  const PortIndex ip = topo_->num_network_ports(r) + node_local;
-  InputBuffer& buf = *routers_[static_cast<std::size_t>(r)].in[static_cast<std::size_t>(ip)];
+  const PortIndex ip = net_ports(r) + node_local;
+  InputBuffer& buf = in_[static_cast<std::size_t>(input_at(r, ip))];
   // Reactive traffic keeps the last injection VC exclusive to replies so
   // blocked requests can never starve reply injection (protocol deadlock
   // avoidance extends to the injection queues).
@@ -299,20 +334,27 @@ bool Network::try_inject(NodeId n, Packet& pkt, Cycle now) {
   pkt.id = next_packet_id_++;
   pkt.injected = now;
   pkt.vc_position = kInjectionPosition;
-  buf.push(best, pkt);
-  ++packets_in_network_;
+  const PacketRef ref = pool_.alloc(pkt);
+  if (debug_stuck_) {
+    if (traces_.size() <= static_cast<std::size_t>(ref))
+      traces_.resize(static_cast<std::size_t>(ref) + 1);
+    traces_[static_cast<std::size_t>(ref)].clear();
+  }
+  buf.push(best, ref, pkt.size);
+  ++router_buffered_[static_cast<std::size_t>(r)];
+  alloc_routers_.add(r);
   return true;
 }
 
 bool Network::find_action(RouterId r, PortIndex ip, VcIndex vc, Cycle now,
                           Request& req) {
-  RouterState& rs = routers_[static_cast<std::size_t>(r)];
-  InputBuffer& buf = *rs.in[static_cast<std::size_t>(ip)];
-  const Packet* head = buf.front(vc);
-  if (head == nullptr) return false;
+  InputBuffer& buf = in_[static_cast<std::size_t>(input_at(r, ip))];
+  const PacketRef href = buf.front(vc);
+  if (href == kInvalidPacketRef) return false;
+  const Packet& head = pool_[href];
 
-  Commitment& commit =
-      rs.commits[static_cast<std::size_t>(ip)][static_cast<std::size_t>(vc)];
+  Commitment& commit = commits_[static_cast<std::size_t>(
+      commit_index_[static_cast<std::size_t>(input_at(r, ip))] + vc)];
 
   const auto fill_request = [&](const Commitment& c, int output) {
     req.in_port = ip;
@@ -326,22 +368,22 @@ bool Network::find_action(RouterId r, PortIndex ip, VcIndex vc, Cycle now,
   // Revalidate an existing commitment (one-shot VC allocation: the packet
   // waits for the committed VC rather than hopping to whichever VC has
   // credits this cycle).
-  if (commit.pkt == head->id) {
+  if (commit.pkt == head.id) {
     if (commit.option.ejection) {
       const int out = eject_output_index(
-          r, head->dst % topo_->concentration(), head->cls);
-      if (rs.output_matched[static_cast<std::size_t>(out)]) return false;
-      if (!nodes_[static_cast<std::size_t>(head->dst)]->can_consume(head->cls,
-                                                                    now))
+          r, head.dst % topo_->concentration(), head.cls);
+      if (out_matched_[static_cast<std::size_t>(out)]) return false;
+      if (!nodes_[static_cast<std::size_t>(head.dst)]->can_consume(head.cls,
+                                                                   now))
         return false;  // consumption is the safe sink: wait
       fill_request(commit, out);
       return true;
     }
-    const auto out_port = static_cast<std::size_t>(commit.option.out_port);
+    const auto li = static_cast<std::size_t>(link_at(r, commit.option.out_port));
     const bool feasible =
-        !rs.output_matched[out_port] &&
-        rs.out[out_port].can_reserve(head->size) &&
-        rs.ledger[out_port].can_send(commit.out_vc, head->size);
+        !out_matched_[static_cast<std::size_t>(commit.option.out_port)] &&
+        out_[li].can_reserve(head.size) &&
+        ledger_[li].can_send(commit.out_vc, head.size);
     if (feasible) {
       fill_request(commit, commit.option.out_port);
       return true;
@@ -352,32 +394,33 @@ bool Network::find_action(RouterId r, PortIndex ip, VcIndex vc, Cycle now,
 
   // (Re)run VC allocation for the head packet.
   scratch_options_.clear();
-  routing_->route(*head, r, rs.rng, scratch_options_);
+  routing_->route(head, r, rng_[static_cast<std::size_t>(r)], scratch_options_);
   for (const RouteOption& opt : scratch_options_) {
     if (opt.ejection) {
       const int out = eject_output_index(
-          r, head->dst % topo_->concentration(), head->cls);
-      commit.pkt = head->id;
+          r, head.dst % topo_->concentration(), head.cls);
+      commit.pkt = head.id;
       commit.option = opt;
       commit.out_vc = kInvalidVc;
       commit.out_position = -1;
       commit.safe = true;
-      if (rs.output_matched[static_cast<std::size_t>(out)]) return false;
-      if (!nodes_[static_cast<std::size_t>(head->dst)]->can_consume(head->cls,
-                                                                    now))
+      if (out_matched_[static_cast<std::size_t>(out)]) return false;
+      if (!nodes_[static_cast<std::size_t>(head.dst)]->can_consume(head.cls,
+                                                                   now))
         return false;
       fill_request(commit, out);
       return true;
     }
 
-    OutputUnit& ou = rs.out[static_cast<std::size_t>(opt.out_port)];
-    CreditLedger& ledger = rs.ledger[static_cast<std::size_t>(opt.out_port)];
+    OutputUnit& ou = out_[static_cast<std::size_t>(link_at(r, opt.out_port))];
+    CreditLedger& ledger =
+        ledger_[static_cast<std::size_t>(link_at(r, opt.out_port))];
 
     HopContext ctx;
-    ctx.cls = head->cls;
+    ctx.cls = head.cls;
     ctx.hop_type = opt.hop_type;
-    ctx.position = head->vc_position;
-    ctx.floors = {head->type_floors[0], head->type_floors[1]};
+    ctx.position = head.vc_position;
+    ctx.floors = {head.type_floors[0], head.type_floors[1]};
     ctx.intended_after = opt.intended_after;
     ctx.escape_after = opt.escape_after;
     scratch_cands_.clear();
@@ -385,17 +428,17 @@ bool Network::find_action(RouterId r, PortIndex ip, VcIndex vc, Cycle now,
     if (scratch_cands_.empty()) continue;  // hop inadmissible: next option
 
     const bool output_free =
-        !rs.output_matched[static_cast<std::size_t>(opt.out_port)] &&
-        ou.can_reserve(head->size);
+        !out_matched_[static_cast<std::size_t>(opt.out_port)] &&
+        ou.can_reserve(head.size);
     // Prefer a candidate that can move right now.
     if (output_free) {
       const int sel = select_vc(
           selection_, scratch_cands_,
-          [&ledger](VcIndex v) { return ledger.free_for(v); }, head->size,
-          rs.rng);
+          [&ledger](VcIndex v) { return ledger.free_for(v); }, head.size,
+          rng_[static_cast<std::size_t>(r)]);
       if (sel >= 0) {
         const VcCandidate& cand = scratch_cands_[static_cast<std::size_t>(sel)];
-        commit.pkt = head->id;
+        commit.pkt = head.id;
         commit.option = opt;
         commit.out_vc = cand.phys;
         commit.out_position = cand.position;
@@ -421,7 +464,7 @@ bool Network::find_action(RouterId r, PortIndex ip, VcIndex vc, Cycle now,
     }
     if (best >= 0) {
       const VcCandidate& cand = scratch_cands_[static_cast<std::size_t>(best)];
-      commit.pkt = head->id;
+      commit.pkt = head.id;
       commit.option = opt;
       commit.out_vc = cand.phys;
       commit.out_position = cand.position;
@@ -436,8 +479,8 @@ bool Network::find_action(RouterId r, PortIndex ip, VcIndex vc, Cycle now,
 }
 
 bool Network::stage1_pick(RouterId r, PortIndex ip, Cycle now, Request& req) {
-  RouterState& rs = routers_[static_cast<std::size_t>(r)];
-  RoundRobinArbiter& arb = rs.in_arb[static_cast<std::size_t>(ip)];
+  RoundRobinArbiter& arb =
+      in_arb_[static_cast<std::size_t>(input_at(r, ip))];
   for (int i = 0; i < arb.width(); ++i) {
     const VcIndex vc = static_cast<VcIndex>((arb.pointer() + i) % arb.width());
     if (find_action(r, ip, vc, now, req)) return true;
@@ -446,22 +489,20 @@ bool Network::stage1_pick(RouterId r, PortIndex ip, Cycle now, Request& req) {
 }
 
 void Network::allocate(RouterId r, Cycle now) {
-  RouterState& rs = routers_[static_cast<std::size_t>(r)];
-  const int inputs = static_cast<int>(rs.in.size());
-  const int outputs = num_outputs(r);
-  if (static_cast<int>(scratch_requests_.size()) < outputs)
-    scratch_requests_.resize(static_cast<std::size_t>(outputs));
+  const int inputs = num_inputs(r);
+  const int outputs = output_index_[static_cast<std::size_t>(r) + 1] -
+                      output_index_[static_cast<std::size_t>(r)];
 
   for (int pass = 0; pass < config_.speedup; ++pass) {
-    std::fill(rs.input_matched.begin(), rs.input_matched.end(), false);
-    std::fill(rs.output_matched.begin(), rs.output_matched.end(), false);
+    std::fill_n(in_matched_.begin(), inputs, static_cast<char>(0));
+    std::fill_n(out_matched_.begin(), outputs, static_cast<char>(0));
     for (int iter = 0; iter < config_.alloc_iters; ++iter) {
       for (int o = 0; o < outputs; ++o)
         scratch_requests_[static_cast<std::size_t>(o)].clear();
       bool any = false;
       // Stage 1: every unmatched input proposes one (VC, option, output).
       for (PortIndex ip = 0; ip < inputs; ++ip) {
-        if (rs.input_matched[static_cast<std::size_t>(ip)]) continue;
+        if (in_matched_[static_cast<std::size_t>(ip)]) continue;
         Request req;
         if (stage1_pick(r, ip, now, req)) {
           scratch_requests_[static_cast<std::size_t>(req.output)].push_back(req);
@@ -472,9 +513,10 @@ void Network::allocate(RouterId r, Cycle now) {
       // Stage 2: every requested output grants one input (round-robin).
       for (int o = 0; o < outputs; ++o) {
         auto& reqs = scratch_requests_[static_cast<std::size_t>(o)];
-        if (reqs.empty() || rs.output_matched[static_cast<std::size_t>(o)])
+        if (reqs.empty() || out_matched_[static_cast<std::size_t>(o)])
           continue;
-        RoundRobinArbiter& arb = rs.out_arb[static_cast<std::size_t>(o)];
+        RoundRobinArbiter& arb = out_arb_[static_cast<std::size_t>(
+            output_index_[static_cast<std::size_t>(r)] + o)];
         const Request* chosen = nullptr;
         int best_rank = inputs;
         for (const Request& req : reqs) {
@@ -485,10 +527,10 @@ void Network::allocate(RouterId r, Cycle now) {
           }
         }
         grant(r, *chosen, now);
-        rs.input_matched[static_cast<std::size_t>(chosen->in_port)] = true;
-        rs.output_matched[static_cast<std::size_t>(o)] = true;
-        rs.in_arb[static_cast<std::size_t>(chosen->in_port)].advance_past(
-            chosen->in_vc);
+        in_matched_[static_cast<std::size_t>(chosen->in_port)] = true;
+        out_matched_[static_cast<std::size_t>(o)] = true;
+        in_arb_[static_cast<std::size_t>(input_at(r, chosen->in_port))]
+            .advance_past(chosen->in_vc);
         arb.advance_past(chosen->in_port);
       }
     }
@@ -496,8 +538,10 @@ void Network::allocate(RouterId r, Cycle now) {
 }
 
 void Network::grant(RouterId r, const Request& req, Cycle now) {
-  RouterState& rs = routers_[static_cast<std::size_t>(r)];
-  Packet pkt = rs.in[static_cast<std::size_t>(req.in_port)]->pop(req.in_vc);
+  const BufferSlot slot =
+      in_[static_cast<std::size_t>(input_at(r, req.in_port))].pop(req.in_vc);
+  --router_buffered_[static_cast<std::size_t>(r)];
+  Packet& pkt = pool_[slot.ref];
   last_grant_ = now;
   ++total_grants_;
   if (req.option.is_escape && pkt.valiant != kInvalidRouter &&
@@ -507,16 +551,18 @@ void Network::grant(RouterId r, const Request& req, Cycle now) {
 
   // Return the freed space upstream (network input ports only; injection
   // buffers are observed directly by the node).
-  if (req.in_port < topo_->num_network_ports(r)) {
+  if (req.in_port < net_ports(r)) {
     const PortDesc& desc = topo_->port(r, req.in_port);
-    DirLink& upstream = link_of(desc.neighbor, desc.neighbor_port);
+    const int uli = link_at(desc.neighbor, desc.neighbor_port);
+    DirLink& upstream = links_[static_cast<std::size_t>(uli)];
     upstream.credits.push_back(FlyingCredit{
         req.in_vc, pkt.size, pkt.credited_kind, now + upstream.latency});
+    active_links_.add(uli);
   }
 
   if (req.option.ejection) {
     nodes_[static_cast<std::size_t>(pkt.dst)]->consume(pkt, now, *this);
-    --packets_in_network_;
+    pool_.release(slot.ref);
     return;
   }
 
@@ -532,23 +578,32 @@ void Network::grant(RouterId r, const Request& req, Cycle now) {
         static_cast<std::int16_t>(req.out_position);
   }
   ++pkt.hops;
-  pkt.record_hop(topo_->port(r, req.option.out_port).neighbor);
-  rs.ledger[static_cast<std::size_t>(req.output)].on_send(req.out_vc, pkt.size,
-                                                          pkt.route_kind);
-  rs.out[static_cast<std::size_t>(req.output)].accept(pkt, req.out_vc, now);
+  const int li = link_at(r, req.option.out_port);
+  if (debug_stuck_)
+    traces_[static_cast<std::size_t>(slot.ref)].push_back(
+        static_cast<std::int16_t>(links_[static_cast<std::size_t>(li)].to));
+  ledger_[static_cast<std::size_t>(li)].on_send(req.out_vc, pkt.size,
+                                                pkt.route_kind);
+  out_[static_cast<std::size_t>(li)].accept(slot.ref, pkt.size, req.out_vc,
+                                            now);
+  ++router_in_pipe_[static_cast<std::size_t>(r)];
+  send_routers_.add(r);
 }
 
 void Network::send(RouterId r, Cycle now) {
-  RouterState& rs = routers_[static_cast<std::size_t>(r)];
-  for (PortIndex p = 0; p < topo_->num_network_ports(r); ++p) {
-    OutputUnit& ou = rs.out[static_cast<std::size_t>(p)];
+  const int li0 = link_index_[static_cast<std::size_t>(r)];
+  const int li1 = link_index_[static_cast<std::size_t>(r) + 1];
+  for (int li = li0; li < li1; ++li) {
+    OutputUnit& ou = out_[static_cast<std::size_t>(li)];
     if (!ou.ready_to_send(now)) continue;
     VcIndex vc = kInvalidVc;
-    Packet pkt = ou.start_send(now, vc);
-    DirLink& link = link_of(r, p);
+    const PacketRef ref = ou.start_send(now, vc);
+    DirLink& link = links_[static_cast<std::size_t>(li)];
     // Virtual cut-through: the packet is eligible downstream one cycle
     // after its head arrives; its phits keep streaming behind it.
-    link.data.push_back(FlyingPacket{pkt, vc, now + link.latency + 1});
+    link.data.push_back(FlyingPacket{ref, vc, now + link.latency + 1});
+    active_links_.add(li);
+    --router_in_pipe_[static_cast<std::size_t>(r)];
   }
 }
 

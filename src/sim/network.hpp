@@ -5,15 +5,32 @@
 // allocator running `speedup` passes per link cycle, a 5-cycle pipeline in
 // front of a small output buffer, and credit-based flow control whose
 // credits travel back with the link latency.
+//
+// Engine layout (the active-set core):
+//   * Router state is struct-of-arrays: input buffers, arbiters,
+//     commitments, output units, and credit ledgers live in flat vectors
+//     indexed by global (router, port) slots via per-router offset tables
+//     (`in_index_` / `link_index_` / `output_index_`, each with a sentinel).
+//   * Packets live in a PacketPool slab from injection to consumption;
+//     queues and link lanes move 4-byte PacketRefs, never whole packets.
+//   * In-flight traffic sits in per-link ring-buffer event lanes
+//     (EventLane) ordered by arrival cycle.
+//   * Each phase iterates a deterministic worklist of only the links and
+//     routers with pending work (ActiveSet, swept in ascending id order so
+//     results are bit-identical to the full scans they replaced);
+//     quiescent routers cost nothing.
+// Determinism invariants are spelled out in README "Engine architecture";
+// tests/test_core_equivalence.cpp enforces them against golden reports.
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <vector>
 
 #include "buffers/buffer_org.hpp"
 #include "buffers/credit_ledger.hpp"
 #include "buffers/input_buffer.hpp"
+#include "buffers/packet_pool.hpp"
+#include "common/event_lane.hpp"
 #include "core/flexvc_policy.hpp"
 #include "core/vc_selection.hpp"
 #include "router/arbiter.hpp"
@@ -47,8 +64,10 @@ class Network final : public CongestionOracle {
   RoutingAlgorithm& routing() { return *routing_; }
 
   /// Packets inside routers/links (excludes node source queues): the
-  /// quantity the deadlock watchdog monitors.
-  std::int64_t packets_in_network() const { return packets_in_network_; }
+  /// quantity the deadlock watchdog monitors. Exactly the PacketPool's
+  /// live count — a packet is pooled at injection and released at
+  /// consumption.
+  std::int64_t packets_in_network() const { return pool_.live(); }
 
   /// Cycle of the most recent packet movement (grant); the deadlock
   /// watchdog declares deadlock when this stops advancing while packets
@@ -70,31 +89,34 @@ class Network final : public CongestionOracle {
   int input_occupancy(RouterId r, PortIndex p, VcIndex vc) const;
 
   /// Prints every buffered head packet older than `min_age` — the stalled
-  /// traffic diagnostic used when investigating throughput anomalies.
+  /// traffic diagnostic the deadlock watchdog triggers. Gated on the
+  /// FLEXNET_DEBUG_STUCK environment variable: unless it is set (non-empty,
+  /// not "0"), neither this dump nor the per-hop trace recording it feeds
+  /// on costs anything — diagnostics are free on the hot path.
   void debug_dump_stuck(Cycle now, Cycle min_age) const;
 
  private:
-  friend class Node;
-
+  /// A packet in flight on a link (payload in the pool slab).
   struct FlyingPacket {
-    Packet pkt;
-    VcIndex vc;
-    Cycle arrive;
+    PacketRef ref = kInvalidPacketRef;
+    VcIndex vc = kInvalidVc;
+    Cycle arrive = 0;
   };
   struct FlyingCredit {
-    VcIndex vc;
-    int phits;
-    RouteKind kind;
-    Cycle arrive;
+    VcIndex vc = kInvalidVc;
+    int phits = 0;
+    RouteKind kind = RouteKind::kMinimal;
+    Cycle arrive = 0;
   };
 
-  /// One directed network link plus its credit backchannel.
+  /// One directed network link plus its credit backchannel. Both lanes are
+  /// rings ordered by arrival cycle (fixed latency, monotone clock).
   struct DirLink {
     RouterId to = kInvalidRouter;
     PortIndex to_port = kInvalidPort;
     int latency = 1;
-    std::deque<FlyingPacket> data;
-    std::deque<FlyingCredit> credits;  ///< toward this link's sender
+    EventLane<FlyingPacket> data;
+    EventLane<FlyingCredit> credits;  ///< toward this link's sender
   };
 
   /// One-shot VC allocation (the router's VC-allocation stage): the head
@@ -108,19 +130,6 @@ class Network final : public CongestionOracle {
     VcIndex out_vc = kInvalidVc;
     int out_position = -1;
     bool safe = false;
-  };
-
-  struct RouterState {
-    // Input buffers: network ports first, then one injection port per node.
-    std::vector<std::unique_ptr<InputBuffer>> in;
-    std::vector<OutputUnit> out;        // network ports
-    std::vector<CreditLedger> ledger;   // per network output port
-    std::vector<RoundRobinArbiter> in_arb;
-    std::vector<RoundRobinArbiter> out_arb;  // network + ejection channels
-    std::vector<bool> input_matched;         // per allocation pass
-    std::vector<bool> output_matched;
-    std::vector<std::vector<Commitment>> commits;  // per input port, per VC
-    Rng rng;
   };
 
   /// Stage-1 result: one input port's chosen action for this iteration.
@@ -145,8 +154,21 @@ class Network final : public CongestionOracle {
   void grant(RouterId r, const Request& req, Cycle now);
   void send(RouterId r, Cycle now);
 
-  DirLink& link_of(RouterId r, PortIndex p) {
-    return links_[static_cast<std::size_t>(link_index_[static_cast<std::size_t>(r)] + p)];
+  // Flat-index helpers over the per-router offset tables (all carry a
+  // sentinel entry, so spans are [index_[r], index_[r + 1])).
+  int link_at(RouterId r, PortIndex p) const {
+    return link_index_[static_cast<std::size_t>(r)] + p;
+  }
+  int net_ports(RouterId r) const {
+    return link_index_[static_cast<std::size_t>(r) + 1] -
+           link_index_[static_cast<std::size_t>(r)];
+  }
+  int input_at(RouterId r, PortIndex ip) const {
+    return in_index_[static_cast<std::size_t>(r)] + ip;
+  }
+  int num_inputs(RouterId r) const {
+    return in_index_[static_cast<std::size_t>(r) + 1] -
+           in_index_[static_cast<std::size_t>(r)];
   }
 
   SimConfig config_;
@@ -155,14 +177,37 @@ class Network final : public CongestionOracle {
   std::unique_ptr<RoutingAlgorithm> routing_;
   VcSelection selection_ = VcSelection::kJsq;
 
-  std::vector<RouterState> routers_;
-  std::vector<DirLink> links_;     // flattened (router, network port)
-  std::vector<int> link_index_;    // first link of each router
+  // --- Struct-of-arrays router state (flat, offset-table indexed). The
+  // link→(owner, port) mapping is baked into the flat link index at
+  // build() time: link i *is* (owner, port) = the pair link_at inverts,
+  // and out_/ledger_ share that index — so the owning ledger of link i is
+  // ledger_[i], with no per-cycle owner recovery.
+  std::vector<DirLink> links_;      // by link index (router, network port)
+  std::vector<OutputUnit> out_;        // by link index
+  std::vector<CreditLedger> ledger_;   // by link index
+  std::vector<int> link_index_;        // per router + sentinel
+  std::vector<InputBuffer> in_;        // by global input index
+  std::vector<RoundRobinArbiter> in_arb_;  // by global input index
+  std::vector<Commitment> commits_;        // flat (input, vc) slots
+  std::vector<int> commit_index_;  // per global input: first commit slot
+  std::vector<int> in_index_;      // per router + sentinel
+  std::vector<RoundRobinArbiter> out_arb_;  // by global output index
+  std::vector<int> output_index_;           // per router + sentinel
+  std::vector<Rng> rng_;                    // per router
+
+  // --- Active sets: the links and routers with pending work. Counters
+  // are per router; sets are swept in ascending id order (see ActiveSet).
+  PacketPool pool_;
+  std::vector<std::int32_t> router_buffered_;  // packets in input buffers
+  std::vector<std::int32_t> router_in_pipe_;   // packets in output units
+  ActiveSet active_links_;   // links with queued data or credit events
+  ActiveSet alloc_routers_;  // routers with buffered packets
+  ActiveSet send_routers_;   // routers with occupied output units
+
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<TrafficPattern> pattern_;
 
   Metrics metrics_;
-  std::int64_t packets_in_network_ = 0;
   Cycle last_grant_ = 0;
   std::int64_t escape_grants_ = 0;
   std::int64_t total_grants_ = 0;
@@ -170,10 +215,20 @@ class Network final : public CongestionOracle {
   std::int64_t lowest_picks_ = 0;
   PacketId next_packet_id_ = 0;
 
-  // Scratch buffers reused across calls (allocation fast path).
+  // Scratch buffers reused across calls (allocation fast path), sized in
+  // build() from the real maxima over routers — never resized on the hot
+  // path. The matched flags are per-allocation-pass temporaries, so one
+  // scratch pair serves every router.
   std::vector<RouteOption> scratch_options_;
   std::vector<VcCandidate> scratch_cands_;
   std::vector<std::vector<Request>> scratch_requests_;  // per output
+  std::vector<char> in_matched_;   // per input, one router at a time
+  std::vector<char> out_matched_;  // per output, one router at a time
+
+  // Opt-in diagnostics (FLEXNET_DEBUG_STUCK): per-pool-slot router traces,
+  // recorded only when enabled.
+  bool debug_stuck_ = false;
+  std::vector<std::vector<std::int16_t>> traces_;  // by pool slot
 };
 
 }  // namespace flexnet

@@ -17,24 +17,24 @@ SimResult Simulator::run() {
     return net.packets_in_network() > 0 &&
            now - net.last_grant() > config_.watchdog;
   };
+  // Stalled-traffic dump on deadlock; free unless FLEXNET_DEBUG_STUCK is
+  // set (the dump and its per-hop trace recording are both gated on it).
+  const auto give_up = [&]() {
+    net.debug_dump_stuck(now, config_.watchdog / 2);
+    result.deadlock = true;
+    result.cycles = now;
+    return result;
+  };
 
   for (; now < config_.warmup; ++now) {
     net.step(now);
-    if (deadlocked()) {
-      result.deadlock = true;
-      result.cycles = now;
-      return result;
-    }
+    if (deadlocked()) return give_up();
   }
   net.metrics().begin_window(now);
   const Cycle end = config_.warmup + config_.measure;
   for (; now < end; ++now) {
     net.step(now);
-    if (deadlocked()) {
-      result.deadlock = true;
-      result.cycles = now;
-      return result;
-    }
+    if (deadlocked()) return give_up();
   }
   net.metrics().end_window(now);
 

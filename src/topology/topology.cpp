@@ -1,10 +1,24 @@
 #include "topology/topology.hpp"
 
+#include <algorithm>
 #include <deque>
 
 #include "common/check.hpp"
 
 namespace flexnet {
+
+int Topology::total_network_ports() const {
+  int total = 0;
+  for (RouterId r = 0; r < num_routers(); ++r) total += num_network_ports(r);
+  return total;
+}
+
+int Topology::max_network_ports() const {
+  int max_ports = 0;
+  for (RouterId r = 0; r < num_routers(); ++r)
+    max_ports = std::max(max_ports, num_network_ports(r));
+  return max_ports;
+}
 
 void Topology::validate_wiring() const {
   for (RouterId r = 0; r < num_routers(); ++r) {

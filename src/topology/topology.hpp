@@ -43,6 +43,11 @@ class Topology {
     return static_cast<int>(ports_[static_cast<std::size_t>(r)].size());
   }
 
+  /// Sum / maximum of num_network_ports over all routers — the sizes the
+  /// network layer uses for its flat link arrays and hot-path scratch.
+  int total_network_ports() const;
+  int max_network_ports() const;
+
   const PortDesc& port(RouterId r, PortIndex p) const {
     return ports_[static_cast<std::size_t>(r)][static_cast<std::size_t>(p)];
   }

@@ -1,5 +1,13 @@
 // Unit and property tests for buffer organizations and credit accounting.
+//
+// InputBuffer is one concrete class covering both organizations: a
+// statically partitioned buffer is the shared_capacity == 0 case, a DAMQ
+// reserves private_per_vc phits per VC and shares the rest. Queues hold
+// {PacketRef, phits} slots — the tests use small integers as refs, since
+// the buffer never dereferences them.
 #include <gtest/gtest.h>
+
+#include <vector>
 
 #include "buffers/buffer_org.hpp"
 #include "buffers/credit_ledger.hpp"
@@ -9,35 +17,27 @@
 namespace flexnet {
 namespace {
 
-Packet make_packet(PacketId id, int size = 8,
-                   RouteKind kind = RouteKind::kMinimal) {
-  Packet p;
-  p.id = id;
-  p.size = size;
-  p.route_kind = kind;
-  return p;
-}
+// --- Statically partitioned (shared == 0).
 
-// --- StaticBuffer.
-
-TEST(StaticBuffer, FifoOrderPerVc) {
-  StaticBuffer buf(2, 32);
-  buf.push(0, make_packet(1));
-  buf.push(1, make_packet(2));
-  buf.push(0, make_packet(3));
-  EXPECT_EQ(buf.front(0)->id, 1);
-  EXPECT_EQ(buf.pop(0).id, 1);
-  EXPECT_EQ(buf.pop(0).id, 3);
-  EXPECT_EQ(buf.pop(1).id, 2);
+TEST(StaticInputBuffer, FifoOrderPerVc) {
+  InputBuffer buf(2, 32);
+  buf.push(0, /*ref=*/1, /*phits=*/8);
+  buf.push(1, 2, 8);
+  buf.push(0, 3, 8);
+  EXPECT_FALSE(buf.is_damq());
+  EXPECT_EQ(buf.front(0), 1);
+  EXPECT_EQ(buf.pop(0).ref, 1);
+  EXPECT_EQ(buf.pop(0).ref, 3);
+  EXPECT_EQ(buf.pop(1).ref, 2);
   EXPECT_TRUE(buf.empty(0));
-  EXPECT_EQ(buf.front(0), nullptr);
+  EXPECT_EQ(buf.front(0), kInvalidPacketRef);
 }
 
-TEST(StaticBuffer, CapacityIsPerVc) {
-  StaticBuffer buf(2, 16);
+TEST(StaticInputBuffer, CapacityIsPerVc) {
+  InputBuffer buf(2, 16);
   EXPECT_TRUE(buf.can_accept(0, 16));
   EXPECT_FALSE(buf.can_accept(0, 17));
-  buf.push(0, make_packet(1, 16));
+  buf.push(0, 1, 16);
   EXPECT_FALSE(buf.can_accept(0, 1));
   EXPECT_TRUE(buf.can_accept(1, 16));  // other VC unaffected
   EXPECT_EQ(buf.free_for(0), 0);
@@ -45,65 +45,108 @@ TEST(StaticBuffer, CapacityIsPerVc) {
   EXPECT_EQ(buf.total_capacity(), 32);
 }
 
-TEST(StaticBuffer, OccupancyTracksPhits) {
-  StaticBuffer buf(2, 32);
-  buf.push(0, make_packet(1, 8));
-  buf.push(0, make_packet(2, 8));
-  buf.push(1, make_packet(3, 8));
+TEST(StaticInputBuffer, OccupancyTracksPhits) {
+  InputBuffer buf(2, 32);
+  buf.push(0, 1, 8);
+  buf.push(0, 2, 8);
+  buf.push(1, 3, 8);
   EXPECT_EQ(buf.occupancy(0), 16);
   EXPECT_EQ(buf.occupancy(1), 8);
   EXPECT_EQ(buf.occupancy(), 24);
   EXPECT_EQ(buf.packets(0), 2);
-  buf.pop(0);
+  const BufferSlot popped = buf.pop(0);
+  EXPECT_EQ(popped.phits, 8);
   EXPECT_EQ(buf.occupancy(0), 8);
   EXPECT_EQ(buf.occupancy(), 16);
 }
 
-// --- DamqBuffer.
+TEST(StaticInputBuffer, LongFifoSurvivesRingGrowth) {
+  // Push far past the ring's initial capacity to exercise growth/unwrap.
+  InputBuffer buf(1, 8 * 1024);
+  for (int i = 0; i < 500; ++i) buf.push(0, i, 8);
+  for (int i = 0; i < 250; ++i) EXPECT_EQ(buf.pop(0).ref, i);
+  for (int i = 500; i < 900; ++i) buf.push(0, i, 8);
+  for (int i = 250; i < 900; ++i) ASSERT_EQ(buf.pop(0).ref, i);
+  EXPECT_TRUE(buf.empty(0));
+  EXPECT_EQ(buf.occupancy(), 0);
+}
 
-TEST(DamqBuffer, SharedPoolExtendsPrivate) {
-  DamqBuffer buf(2, 8, 16);  // 8 private per VC + 16 shared = 32 total
+// --- DAMQ (shared > 0).
+
+TEST(DamqInputBuffer, SharedPoolExtendsPrivate) {
+  InputBuffer buf(2, 8, 16);  // 8 private per VC + 16 shared = 32 total
+  EXPECT_TRUE(buf.is_damq());
   EXPECT_EQ(buf.total_capacity(), 32);
   EXPECT_EQ(buf.free_for(0), 24);  // own private + whole shared pool
-  buf.push(0, make_packet(1, 8));   // fills private
+  buf.push(0, 1, 8);               // fills private
   EXPECT_EQ(buf.shared_used(), 0);
-  buf.push(0, make_packet(2, 8));  // spills into shared
+  buf.push(0, 2, 8);  // spills into shared
   EXPECT_EQ(buf.shared_used(), 8);
   EXPECT_EQ(buf.free_for(0), 8);
   EXPECT_EQ(buf.free_for(1), 16);  // private 8 + shared remainder 8
 }
 
-TEST(DamqBuffer, PrivateSpaceAlwaysAvailableToOwner) {
+TEST(DamqInputBuffer, PrivateSpaceAlwaysAvailableToOwner) {
   // One VC monopolizing the shared pool must not take another VC's private
   // reservation — the property that makes >0% reservation deadlock-free.
-  DamqBuffer buf(2, 8, 16);
-  buf.push(0, make_packet(1, 8));
-  buf.push(0, make_packet(2, 8));
-  buf.push(0, make_packet(3, 8));  // occupancy 24 = private 8 + shared 16
+  InputBuffer buf(2, 8, 16);
+  buf.push(0, 1, 8);
+  buf.push(0, 2, 8);
+  buf.push(0, 3, 8);  // occupancy 24 = private 8 + shared 16
   EXPECT_EQ(buf.shared_used(), 16);
   EXPECT_FALSE(buf.can_accept(0, 8));
   EXPECT_TRUE(buf.can_accept(1, 8));  // private reservation survives
   EXPECT_EQ(buf.free_for(1), 8);
 }
 
-TEST(DamqBuffer, ZeroPrivateAllowsMonopoly) {
+TEST(DamqInputBuffer, ZeroPrivateAllowsMonopoly) {
   // With no reservation a single VC can take the whole memory — the paper's
   // Fig 10 deadlock case.
-  DamqBuffer buf(2, 0, 32);
-  for (int i = 0; i < 4; ++i) buf.push(0, make_packet(i, 8));
+  InputBuffer buf(2, 0, 32);
+  for (int i = 0; i < 4; ++i) buf.push(0, i, 8);
   EXPECT_EQ(buf.occupancy(0), 32);
   EXPECT_FALSE(buf.can_accept(1, 8));
   EXPECT_EQ(buf.free_for(1), 0);
 }
 
-TEST(DamqBuffer, DrainReleasesSharedFirstConsistently) {
-  DamqBuffer buf(2, 8, 16);
-  buf.push(0, make_packet(1, 8));
-  buf.push(0, make_packet(2, 8));
+TEST(DamqInputBuffer, DrainReleasesSharedFirstConsistently) {
+  InputBuffer buf(2, 8, 16);
+  buf.push(0, 1, 8);
+  buf.push(0, 2, 8);
   buf.pop(0);
   // Occupancy 8 == private: shared fully released.
   EXPECT_EQ(buf.shared_used(), 0);
   EXPECT_EQ(buf.free_for(1), 24);
+}
+
+TEST(DamqInputBuffer, IncrementalSharedUseMatchesScanUnderRandomTraffic) {
+  // Property: the incrementally tracked shared_used always equals the
+  // from-scratch per-VC overflow sum the old implementation recomputed.
+  Rng rng(7);
+  const int private_per_vc = 8;
+  InputBuffer buf(3, private_per_vc, 24);
+  std::vector<std::vector<int>> sizes(3);  // mirror of queued phits per VC
+  for (int step = 0; step < 5000; ++step) {
+    const VcIndex vc = static_cast<VcIndex>(rng.next_below(3));
+    const int phits = 4 + static_cast<int>(rng.next_below(3)) * 4;
+    if (rng.next_bernoulli(0.6)) {
+      if (!buf.can_accept(vc, phits)) continue;
+      buf.push(vc, step, phits);
+      sizes[static_cast<std::size_t>(vc)].push_back(phits);
+    } else if (!buf.empty(vc)) {
+      buf.pop(vc);
+      auto& q = sizes[static_cast<std::size_t>(vc)];
+      q.erase(q.begin());
+    }
+    int scan = 0;
+    for (VcIndex v = 0; v < 3; ++v) {
+      int occ = 0;
+      for (const int s : sizes[static_cast<std::size_t>(v)]) occ += s;
+      ASSERT_EQ(buf.occupancy(v), occ) << "step " << step;
+      scan += std::max(0, occ - private_per_vc);
+    }
+    ASSERT_EQ(buf.shared_used(), scan) << "step " << step;
+  }
 }
 
 // --- Geometry factory.
@@ -128,15 +171,16 @@ TEST(BufferOrg, DamqFullPrivateEqualsStatic) {
   const auto g = make_geometry(BufferOrg::kDamq, 2, 128, 1.0);
   EXPECT_EQ(g.private_per_vc, 64);
   EXPECT_EQ(g.shared, 0);
-  // The factory then builds a StaticBuffer (shared == 0).
-  auto buf = make_buffer(g);
-  EXPECT_NE(dynamic_cast<StaticBuffer*>(buf.get()), nullptr);
+  // The factory then builds a statically partitioned buffer (shared == 0).
+  const InputBuffer buf = make_buffer(g);
+  EXPECT_FALSE(buf.is_damq());
+  EXPECT_EQ(buf.free_for(0), 64);
 }
 
 TEST(BufferOrg, FactoryBuildsDamqWhenShared) {
-  auto buf = make_buffer(make_geometry(BufferOrg::kDamq, 2, 128, 0.75));
-  EXPECT_NE(dynamic_cast<DamqBuffer*>(buf.get()), nullptr);
-  EXPECT_EQ(buf->total_capacity(), 128);
+  const InputBuffer buf = make_buffer(make_geometry(BufferOrg::kDamq, 2, 128, 0.75));
+  EXPECT_TRUE(buf.is_damq());
+  EXPECT_EQ(buf.total_capacity(), 128);
 }
 
 TEST(BufferOrg, ParseRoundTrips) {
@@ -180,25 +224,36 @@ TEST(CreditLedger, MirrorsDamqBufferExactly) {
   // Property: after any feasible sequence of sends/credits, the ledger's
   // free_for equals the downstream DAMQ's free_for.
   Rng rng(21);
-  DamqBuffer buf(3, 8, 24);
+  InputBuffer buf(3, 8, 24);
   CreditLedger ledger(3, 8, 24);
-  std::vector<Packet> in_flight;
-  PacketId next_id = 0;
+  struct Sent {
+    int phits;
+    RouteKind kind;
+  };
+  std::vector<Sent> sent;  // indexed by the ref pushed into the buffer
+  std::vector<std::vector<int>> queued(3);  // refs per VC, FIFO
   for (int step = 0; step < 2000; ++step) {
     const VcIndex vc = static_cast<VcIndex>(rng.next_below(3));
     if (rng.next_bernoulli(0.6)) {
-      const Packet pkt = make_packet(
-          next_id++, 4 + static_cast<int>(rng.next_below(3)) * 4,
-          rng.next_bernoulli(0.5) ? RouteKind::kMinimal
-                                  : RouteKind::kNonminimal);
-      if (ledger.can_send(vc, pkt.size)) {
-        EXPECT_TRUE(buf.can_accept(vc, pkt.size)) << "ledger overpromised";
-        ledger.on_send(vc, pkt.size, pkt.route_kind);
-        buf.push(vc, pkt);
+      const int phits = 4 + static_cast<int>(rng.next_below(3)) * 4;
+      const RouteKind kind = rng.next_bernoulli(0.5) ? RouteKind::kMinimal
+                                                     : RouteKind::kNonminimal;
+      if (ledger.can_send(vc, phits)) {
+        EXPECT_TRUE(buf.can_accept(vc, phits)) << "ledger overpromised";
+        ledger.on_send(vc, phits, kind);
+        const int ref = static_cast<int>(sent.size());
+        sent.push_back(Sent{phits, kind});
+        buf.push(vc, ref, phits);
+        queued[static_cast<std::size_t>(vc)].push_back(ref);
       }
     } else if (!buf.empty(vc)) {
-      const Packet pkt = buf.pop(vc);
-      ledger.on_credit(vc, pkt.size, pkt.route_kind);
+      const BufferSlot slot = buf.pop(vc);
+      auto& q = queued[static_cast<std::size_t>(vc)];
+      ASSERT_EQ(slot.ref, q.front());
+      q.erase(q.begin());
+      const Sent& s = sent[static_cast<std::size_t>(slot.ref)];
+      ASSERT_EQ(slot.phits, s.phits);
+      ledger.on_credit(vc, s.phits, s.kind);
     }
     for (VcIndex v = 0; v < 3; ++v) {
       ASSERT_EQ(ledger.free_for(v), buf.free_for(v)) << "step " << step;

@@ -195,6 +195,48 @@ TEST(BenchTrajectoryCli, PartialReportsAreSkippedNotSilentlyFolded) {
     std::remove(path.c_str());
 }
 
+TEST(BenchTrajectoryCli, MicrobenchReportsFoldAlongsideSweeps) {
+  // bench_hot_path emits a "microbench" case array instead of "sweeps";
+  // the fold must carry its cycles/sec (and the geomean) into the
+  // trajectory next to ordinary sweep entries.
+  const std::string out = temp_path("cli_traj_micro.json");
+  const std::string sweep = temp_path("cli_sweep.json");
+  const std::string micro = temp_path("cli_micro.json");
+  std::remove(out.c_str());
+  write_file(sweep, kGoodReport);
+  write_file(micro, R"json({
+    "meta": {"kind": "hot_path_microbench", "config": "cfg"},
+    "microbench": [
+      {"name": "case a", "cycles": 30000, "wall_seconds": 0.5,
+       "cycles_per_sec": 60000, "consumed_packets": 123, "grants": 456}
+    ],
+    "geomean_cycles_per_sec": 60000
+  })json");
+
+  const CmdResult r = run_cmd(bin("bench_trajectory") + " --out " + out +
+                              " " + sweep + " " + micro);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(read_file(out), &doc, &error)) << error;
+  const JsonValue* entries = doc.find("entries");
+  ASSERT_NE(entries, nullptr);
+  ASSERT_EQ(entries->array.size(), 2u);
+  const JsonValue& entry = entries->array[1];
+  EXPECT_EQ(entry.find("kind")->string_or(""), "hot_path_microbench");
+  EXPECT_EQ(entry.find("geomean_cycles_per_sec")->number_or(0.0), 60000.0);
+  EXPECT_EQ(entry.find("sim_jobs")->number_or(0.0), 1.0);
+  const JsonValue* cases = entry.find("microbench");
+  ASSERT_NE(cases, nullptr);
+  ASSERT_EQ(cases->array.size(), 1u);
+  EXPECT_EQ(cases->array[0].find("cycles_per_sec")->number_or(0.0), 60000.0);
+  // Both halves of the cross-core checksum must survive the fold.
+  EXPECT_EQ(cases->array[0].find("consumed_packets")->number_or(0.0), 123.0);
+  EXPECT_EQ(cases->array[0].find("grants")->number_or(0.0), 456.0);
+  for (const std::string& path : {out, sweep, micro})
+    std::remove(path.c_str());
+}
+
 TEST(BenchTrajectoryCli, AllInputsSkippedIsAnErrorAndOutIsLeftUntouched) {
   // Skipping one bad report among good ones is tolerance; producing no
   // fold at all is a failure — and the existing trajectory must survive.

@@ -55,9 +55,7 @@ TEST(RoundRobinArbiter, PeekDoesNotMovePointer) {
 
 TEST(OutputUnit, PipelineLatencyIsExact) {
   OutputUnit ou(/*buffer=*/32, /*pipeline=*/5);
-  Packet pkt;
-  pkt.size = 8;
-  ou.accept(pkt, /*vc=*/0, /*now=*/100);
+  ou.accept(/*ref=*/1, /*phits=*/8, /*vc=*/0, /*now=*/100);
   for (Cycle t = 100; t < 105; ++t)
     EXPECT_FALSE(ou.ready_to_send(t)) << t;
   EXPECT_TRUE(ou.ready_to_send(105));
@@ -65,16 +63,14 @@ TEST(OutputUnit, PipelineLatencyIsExact) {
 
 TEST(OutputUnit, ReservationAndRelease) {
   OutputUnit ou(32, 5);
-  Packet pkt;
-  pkt.size = 8;
   EXPECT_TRUE(ou.can_reserve(32));
-  ou.accept(pkt, 0, 0);
+  ou.accept(1, 8, 0, 0);
   EXPECT_EQ(ou.occupancy(), 8);
   EXPECT_TRUE(ou.can_reserve(24));
   EXPECT_FALSE(ou.can_reserve(25));
-  ou.accept(pkt, 0, 0);
-  ou.accept(pkt, 0, 0);
-  ou.accept(pkt, 0, 0);
+  ou.accept(2, 8, 0, 0);
+  ou.accept(3, 8, 0, 0);
+  ou.accept(4, 8, 0, 0);
   EXPECT_FALSE(ou.can_reserve(8));  // full: 4 x 8 = 32
   VcIndex vc = kInvalidVc;
   ou.start_send(5, vc);
@@ -84,10 +80,8 @@ TEST(OutputUnit, ReservationAndRelease) {
 
 TEST(OutputUnit, LinkSerializationBlocksNextSend) {
   OutputUnit ou(32, 1);
-  Packet pkt;
-  pkt.size = 8;
-  ou.accept(pkt, 0, 0);
-  ou.accept(pkt, 1, 0);
+  ou.accept(1, 8, 0, 0);
+  ou.accept(2, 8, 1, 0);
   VcIndex vc = kInvalidVc;
   ASSERT_TRUE(ou.ready_to_send(1));
   ou.start_send(1, vc);
@@ -101,17 +95,13 @@ TEST(OutputUnit, LinkSerializationBlocksNextSend) {
 
 TEST(OutputUnit, FifoOrderPreserved) {
   OutputUnit ou(64, 0);
-  for (int i = 0; i < 4; ++i) {
-    Packet pkt;
-    pkt.id = i;
-    pkt.size = 8;
-    ou.accept(pkt, static_cast<VcIndex>(i), 0);
-  }
+  for (int i = 0; i < 4; ++i)
+    ou.accept(/*ref=*/i, /*phits=*/8, static_cast<VcIndex>(i), 0);
   Cycle now = 0;
   for (int i = 0; i < 4; ++i) {
     while (!ou.ready_to_send(now)) ++now;
     VcIndex vc = kInvalidVc;
-    EXPECT_EQ(ou.start_send(now, vc).id, i);
+    EXPECT_EQ(ou.start_send(now, vc), i);
     EXPECT_EQ(vc, i);
   }
 }

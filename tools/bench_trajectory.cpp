@@ -8,14 +8,18 @@
 // Each input report contributes one trajectory entry: the report's figure /
 // config / worker+seed meta, total wall-clock seconds, simulated job count
 // (points x seeds), and per-sweep {title, wall_seconds, saturation and
-// maximum accepted load per series}. When --out already exists its entries
-// are preserved and the new ones appended (the "cumulative" part: CI runs
-// download the previous artifact and re-run this tool); a corrupt or
-// foreign --out file is an error, never overwritten silently. An input
-// report that is unreadable, empty, half-written, or partial (a single
-// shard's report or an incomplete merge — their zeroed slots would poison
-// the saturation numbers) is skipped with a warning so one bad report
-// never wedges or corrupts the fold.
+// maximum accepted load per series}. Microbench reports (bench_hot_path
+// --json: a "microbench" case array instead of "sweeps") fold into an
+// entry carrying each case's cycles/sec, so the engine's raw step
+// throughput is tracked commit over commit alongside the sweeps. When
+// --out already exists its entries are preserved and the new ones appended
+// (the "cumulative" part: CI runs download the previous artifact and
+// re-run this tool); a corrupt or foreign --out file is an error, never
+// overwritten silently. An input report that is unreadable, empty,
+// half-written, or partial (a single shard's report or an incomplete
+// merge — their zeroed slots would poison the saturation numbers) is
+// skipped with a warning so one bad report never wedges or corrupts the
+// fold.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -117,6 +121,43 @@ JsonValue summarize_report(const JsonValue& report, const std::string& source,
   return entry;
 }
 
+/// One trajectory entry summarizing a microbench report (bench_hot_path):
+/// per-case cycles/sec plus the geomean, with wall-clock and case count in
+/// the same wall_seconds/sim_jobs slots the sweep entries use.
+JsonValue summarize_microbench(const JsonValue& report,
+                               const std::string& source,
+                               const std::string& label) {
+  JsonValue entry = JsonValue::make_object();
+  if (!label.empty()) entry.set("label", JsonValue::make_string(label));
+  entry.set("source", JsonValue::make_string(source));
+  copy_meta(report, "kind", &entry);
+  copy_meta(report, "config", &entry);
+
+  double wall_total = 0.0;
+  double cases = 0.0;
+  JsonValue cases_out = JsonValue::make_array();
+  if (const JsonValue* bench = report.find("microbench")) {
+    for (const JsonValue& c : bench->array) {
+      JsonValue c_out = JsonValue::make_object();
+      // consumed_packets/grants together are the cross-core checksum
+      // bench_hot_path documents — carry both into the trajectory.
+      for (const char* key : {"name", "cycles", "wall_seconds",
+                              "cycles_per_sec", "consumed_packets", "grants"})
+        if (const JsonValue* v = c.find(key)) c_out.set(key, *v);
+      if (const JsonValue* wall = c.find("wall_seconds"))
+        wall_total += wall->number_or(0.0);
+      cases += 1.0;
+      cases_out.array.push_back(std::move(c_out));
+    }
+  }
+  if (const JsonValue* geomean = report.find("geomean_cycles_per_sec"))
+    entry.set("geomean_cycles_per_sec", *geomean);
+  entry.set("wall_seconds", JsonValue::make_number(wall_total));
+  entry.set("sim_jobs", JsonValue::make_number(cases));
+  entry.set("microbench", std::move(cases_out));
+  return entry;
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --out BENCH_sweeps.json [--label L] report.json...\n",
@@ -202,8 +243,16 @@ int main(int argc, char** argv) {
       skip(input, "invalid JSON (" + error + ")");
       continue;
     }
-    if (!report.is_object() || report.find("sweeps") == nullptr) {
-      skip(input, "not a sweep report (no 'sweeps')");
+    const bool is_microbench =
+        report.is_object() && report.find("microbench") != nullptr;
+    if (!report.is_object() ||
+        (report.find("sweeps") == nullptr && !is_microbench)) {
+      skip(input, "not a sweep or microbench report (no 'sweeps' or "
+                  "'microbench')");
+      continue;
+    }
+    if (is_microbench) {
+      entries->array.push_back(summarize_microbench(report, input, label));
       continue;
     }
     // Partial reports self-identify: a single shard's report (meta.shard)
