@@ -1,6 +1,7 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <mutex>
 
 namespace flexnet {
 namespace {
@@ -29,7 +30,18 @@ void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 void log_message(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) > g_level.load()) return;
-  std::fprintf(stderr, "[flexnet %s] %s\n", level_tag(level), msg.c_str());
+  // Compose the whole line first and emit it under a lock as one write:
+  // pool workers log concurrently (journal I/O failures, runner warnings)
+  // and interleaved fragments would make the diagnostics unreadable.
+  std::string line = "[flexnet ";
+  line += level_tag(level);
+  line += "] ";
+  line += msg;
+  line += '\n';
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
 }
 
 }  // namespace flexnet

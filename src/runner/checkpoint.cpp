@@ -13,7 +13,22 @@
 #include <sstream>
 #include <utility>
 
+#include "common/log.hpp"
+#include "runner/thread_pool.hpp"
+#include "telemetry/trace.hpp"
+
 namespace flexnet {
+
+namespace {
+
+// Journal I/O spans on the trace timeline (set_trace): pid 0 wall-clock
+// track of the calling worker. A null writer costs one branch.
+TraceWriter::Span journal_span(TraceWriter* trace, const char* name) {
+  if (trace == nullptr) return TraceWriter::Span();
+  return trace->span("checkpoint", name, ThreadPool::current_worker());
+}
+
+}  // namespace
 
 std::uint64_t fnv1a64(const char* data, std::size_t size,
                       std::uint64_t basis) {
@@ -93,7 +108,7 @@ bool parse_i64(const std::string& s, long long* out) {
 /// Parses a checksum-stripped "R ..." body; false on malformed fields.
 bool parse_record_body(const std::string& body, CheckpointRecord* rec) {
   const std::vector<std::string> f = split_fields(body);
-  if (f.size() != 12 || f[0] != "R") return false;
+  if (f.size() != 15 || f[0] != "R") return false;
   long long point = 0, seed = 0, consumed = 0, deadlock = 0, cycles = 0;
   if (!parse_i64(f[1], &point) || point < 0) return false;
   if (!parse_i64(f[2], &seed) || seed < 0) return false;
@@ -102,13 +117,16 @@ bool parse_record_body(const std::string& body, CheckpointRecord* rec) {
       !parse_double(f[5], &r.avg_latency) ||
       !parse_double(f[6], &r.avg_hops) ||
       !parse_double(f[7], &r.request_latency) ||
-      !parse_double(f[8], &r.reply_latency)) {
+      !parse_double(f[8], &r.reply_latency) ||
+      !parse_double(f[9], &r.latency_p50) ||
+      !parse_double(f[10], &r.latency_p99) ||
+      !parse_double(f[11], &r.latency_max)) {
     return false;
   }
-  if (!parse_i64(f[9], &consumed)) return false;
-  if (!parse_i64(f[10], &deadlock) || (deadlock != 0 && deadlock != 1))
+  if (!parse_i64(f[12], &consumed)) return false;
+  if (!parse_i64(f[13], &deadlock) || (deadlock != 0 && deadlock != 1))
     return false;
-  if (!parse_i64(f[11], &cycles)) return false;
+  if (!parse_i64(f[14], &cycles)) return false;
   r.consumed_packets = consumed;
   r.deadlock = deadlock != 0;
   r.cycles = cycles;
@@ -121,17 +139,19 @@ bool parse_record_body(const std::string& body, CheckpointRecord* rec) {
 std::string header_body(std::uint64_t fingerprint, std::size_t points,
                         int seeds) {
   std::ostringstream out;
-  out << "flexnet-checkpoint v1 fp=" << hex_u64(fingerprint)
+  out << "flexnet-checkpoint v2 fp=" << hex_u64(fingerprint)
       << " points=" << points << " seeds=" << seeds;
   return out.str();
 }
 
 /// Parses a checksum-stripped header body back into the grid identity it
-/// declares; false when the line is not a v1 checkpoint header.
+/// declares; false when the line is not a v2 checkpoint header. (v1 lacked
+/// the latency percentile fields; scan_journal reports the version
+/// mismatch explicitly rather than calling a v1 journal "not a journal".)
 bool parse_header_body(const std::string& body, std::uint64_t* fp,
                        std::size_t* points, int* seeds) {
   const std::vector<std::string> f = split_fields(body);
-  if (f.size() != 5 || f[0] != "flexnet-checkpoint" || f[1] != "v1")
+  if (f.size() != 5 || f[0] != "flexnet-checkpoint" || f[1] != "v2")
     return false;
   if (f[2].rfind("fp=", 0) != 0 || f[3].rfind("points=", 0) != 0 ||
       f[4].rfind("seeds=", 0) != 0) {
@@ -218,6 +238,15 @@ ScannedJournal scan_journal(const std::string& text, const std::string& path,
     if (!out.have_header) {
       if (!parse_header_body(body, &out.fingerprint, &out.points,
                              &out.seeds)) {
+        // A journal from an older record format must say so — "not a
+        // journal" would send the user hunting for file corruption.
+        if (body.rfind("flexnet-checkpoint ", 0) == 0) {
+          throw CheckpointError(
+              "checkpoint journal " + path +
+              " uses an older record format (header \"" + body +
+              "\"); this build writes v2 (with latency percentiles) — "
+              "re-run the sweep with a fresh journal path");
+        }
         throw not_a_journal();
       }
       out.header = body;
@@ -257,6 +286,7 @@ std::uint64_t grid_fingerprint(const std::vector<ExperimentSeries>& series,
 
 std::vector<CheckpointRecord> CheckpointJournal::open(
     std::uint64_t fingerprint, std::size_t points, int seeds) {
+  const TraceWriter::Span span = journal_span(trace_, "journal.open");
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ != nullptr)
     throw CheckpointError("checkpoint journal already open: " + path_);
@@ -283,10 +313,8 @@ std::vector<CheckpointRecord> CheckpointJournal::open(
         "the grid/config");
   }
   if (scan.torn_tail) {
-    std::fprintf(stderr,
-                 "flexnet checkpoint: torn trailing record in %s; "
-                 "truncating and re-running the interrupted job\n",
-                 path_.c_str());
+    log_warn("checkpoint: torn trailing record in " + path_ +
+             "; truncating and re-running the interrupted job");
   }
 
   if (scan.valid_bytes < text.size())
@@ -311,6 +339,9 @@ bool result_bits_equal(const SimResult& a, const SimResult& b) {
          deq(a.avg_latency, b.avg_latency) && deq(a.avg_hops, b.avg_hops) &&
          deq(a.request_latency, b.request_latency) &&
          deq(a.reply_latency, b.reply_latency) &&
+         deq(a.latency_p50, b.latency_p50) &&
+         deq(a.latency_p99, b.latency_p99) &&
+         deq(a.latency_max, b.latency_max) &&
          a.consumed_packets == b.consumed_packets &&
          a.deadlock == b.deadlock && a.cycles == b.cycles;
 }
@@ -329,10 +360,8 @@ JournalContents read_journal(const std::string& path) {
     throw CheckpointError("empty file " + path +
                           " is not a checkpoint journal");
   if (scan.torn_tail) {
-    std::fprintf(stderr,
-                 "flexnet checkpoint: torn trailing record in %s; ignoring "
-                 "the interrupted job (the file is left untouched)\n",
-                 path.c_str());
+    log_warn("checkpoint: torn trailing record in " + path +
+             "; ignoring the interrupted job (the file is left untouched)");
   }
   JournalContents out;
   out.fingerprint = scan.fingerprint;
@@ -403,10 +432,9 @@ void CheckpointJournal::write_line(const std::string& body) {
       "\n";
   if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
     failed_ = true;
-    std::fprintf(stderr,
-                 "flexnet checkpoint: write to %s failed (%s); further "
-                 "progress will not be journaled\n",
-                 path_.c_str(), std::strerror(errno));
+    log_warn("checkpoint: write to " + path_ + " failed (" +
+             std::strerror(errno) +
+             "); further progress will not be journaled");
   }
 }
 
@@ -418,7 +446,9 @@ void CheckpointJournal::append(std::size_t point, int seed,
   body << "R " << point << ' ' << seed << ' ' << hex_double(r.offered) << ' '
        << hex_double(r.accepted) << ' ' << hex_double(r.avg_latency) << ' '
        << hex_double(r.avg_hops) << ' ' << hex_double(r.request_latency)
-       << ' ' << hex_double(r.reply_latency) << ' ' << r.consumed_packets
+       << ' ' << hex_double(r.reply_latency) << ' '
+       << hex_double(r.latency_p50) << ' ' << hex_double(r.latency_p99)
+       << ' ' << hex_double(r.latency_max) << ' ' << r.consumed_packets
        << ' ' << (r.deadlock ? 1 : 0) << ' '
        << static_cast<long long>(r.cycles);
   write_line(body.str());
@@ -427,6 +457,7 @@ void CheckpointJournal::append(std::size_t point, int seed,
 
 void CheckpointJournal::flush_locked() {
   if (file_ == nullptr) return;
+  const TraceWriter::Span span = journal_span(trace_, "journal.fsync");
   std::fflush(file_);
   ::fsync(::fileno(file_));
   unsynced_ = 0;
@@ -440,6 +471,7 @@ void CheckpointJournal::flush() {
 void CheckpointJournal::close() {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) return;
+  const TraceWriter::Span span = journal_span(trace_, "journal.close");
   flush_locked();
   std::fclose(file_);
   file_ = nullptr;

@@ -9,9 +9,9 @@
 // Journal format (text, one record per '\n'-terminated line, every line
 // ending in an FNV-1a checksum of the preceding bytes):
 //
-//   flexnet-checkpoint v1 fp=<16-hex> points=<N> seeds=<K> <crc>
+//   flexnet-checkpoint v2 fp=<16-hex> points=<N> seeds=<K> <crc>
 //   R <point> <seed> <offered> <accepted> <latency> <hops> <req_latency>
-//     <reply_latency> <consumed> <deadlock> <cycles> <crc>
+//     <reply_latency> <p50> <p99> <max> <consumed> <deadlock> <cycles> <crc>
 //
 // Doubles are rendered as C hexfloats (%a) so reloaded results are
 // bit-exact. The header fingerprints the full grid — every SimConfig field
@@ -33,6 +33,8 @@
 #include "sim/experiment.hpp"
 
 namespace flexnet {
+
+class TraceWriter;
 
 /// FNV-1a 64-bit over `data` — the journal's record checksum and the
 /// fingerprint hash. Stable across platforms and runs by construction.
@@ -140,6 +142,11 @@ class CheckpointJournal {
 
   void close();
 
+  /// Emits journal I/O spans (open / fsync batches / close) into `trace`
+  /// (telemetry/trace.hpp). Call before open(); nullptr (the default)
+  /// disables. The writer must outlive this journal.
+  void set_trace(TraceWriter* trace) { trace_ = trace; }
+
   const std::string& path() const { return path_; }
   bool failed() const { return failed_; }
 
@@ -152,6 +159,7 @@ class CheckpointJournal {
   std::mutex mu_;
   int unsynced_ = 0;
   bool failed_ = false;
+  TraceWriter* trace_ = nullptr;
 };
 
 }  // namespace flexnet

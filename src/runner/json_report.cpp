@@ -86,6 +86,9 @@ void append_row(std::ostringstream& out, const SweepRow& row) {
       << ", \"hops\": " << json_number(r.avg_hops)
       << ", \"request_latency\": " << json_number(r.request_latency)
       << ", \"reply_latency\": " << json_number(r.reply_latency)
+      << ", \"latency_p50\": " << json_number(r.latency_p50)
+      << ", \"latency_p99\": " << json_number(r.latency_p99)
+      << ", \"latency_max\": " << json_number(r.latency_max)
       << ", \"consumed_packets\": " << r.consumed_packets
       << ", \"cycles\": " << r.cycles
       << ", \"deadlock\": " << (r.deadlock ? "true" : "false") << "}";

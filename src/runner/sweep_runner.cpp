@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 
 #include "runner/checkpoint.hpp"
 #include "runner/thread_pool.hpp"
+#include "telemetry/heartbeat.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace flexnet {
 
@@ -19,6 +23,23 @@ SweepRunner& SweepRunner::set_checkpoint(std::string path) {
 
 SweepRunner& SweepRunner::set_shard(ShardSpec shard) {
   shard_ = shard;
+  return *this;
+}
+
+SweepRunner& SweepRunner::set_telemetry(TelemetryCounters* aggregate) {
+  telemetry_ = aggregate;
+  return *this;
+}
+
+SweepRunner& SweepRunner::set_trace(TraceWriter* trace, bool packet_spans) {
+  trace_ = trace;
+  trace_packets_ = packet_spans;
+  return *this;
+}
+
+SweepRunner& SweepRunner::set_heartbeat(std::string path) {
+  heartbeat_path_ = std::move(path);
+  heartbeat_set_ = true;
   return *this;
 }
 
@@ -47,6 +68,11 @@ SimResult SweepRunner::aggregate_seeds(const std::vector<SimResult>& per_seed) {
     avg.avg_hops += r.avg_hops / survivors;
     avg.request_latency += r.request_latency / survivors;
     avg.reply_latency += r.reply_latency / survivors;
+    avg.latency_p50 += r.latency_p50 / survivors;
+    avg.latency_p99 += r.latency_p99 / survivors;
+    // The max stays a max: the worst observed latency over all surviving
+    // seeds (averaging a maximum would report a latency no run saw).
+    avg.latency_max = std::max(avg.latency_max, r.latency_max);
     avg.consumed_packets += r.consumed_packets;
   }
   return avg;
@@ -81,6 +107,11 @@ std::vector<SweepResult> SweepRunner::run(
       for (int k = 0; k < n_seeds; ++k)
         if (!plan.contains(p, k)) done[p][static_cast<std::size_t>(k)] = 1;
   }
+  // Jobs this process owns = the grid minus other shards' jobs; the
+  // heartbeat below reports progress against this denominator.
+  std::size_t excluded = 0;
+  for (const auto& row : done)
+    for (const char d : row) excluded += d != 0 ? 1u : 0u;
 
   // Resume: pre-fill completed slots from the journal (fingerprint
   // validated inside open — a journal for a different grid throws) and
@@ -88,6 +119,7 @@ std::vector<SweepResult> SweepRunner::run(
   std::unique_ptr<CheckpointJournal> journal;
   if (!checkpoint_path_.empty()) {
     journal = std::make_unique<CheckpointJournal>(checkpoint_path_);
+    if (trace_ != nullptr) journal->set_trace(trace_);
     const auto records = journal->open(
         grid_fingerprint(series, loads, n_seeds), num_points, n_seeds);
     for (const auto& rec : records) {
@@ -95,6 +127,57 @@ std::vector<SweepResult> SweepRunner::run(
       done[rec.point][static_cast<std::size_t>(rec.seed)] = 1;
     }
   }
+
+  // Heartbeat sidecar: progress records for whoever watches the run
+  // (flexnet_run --progress, orchestrator liveness probes).
+  std::unique_ptr<HeartbeatWriter> heartbeat;
+  {
+    std::size_t filled = 0;
+    for (const auto& row : done)
+      for (const char d : row) filled += d != 0 ? 1u : 0u;
+    std::string hb_path = heartbeat_set_            ? heartbeat_path_
+                          : checkpoint_path_.empty() ? std::string()
+                                                     : checkpoint_path_ + ".hb";
+    if (!hb_path.empty()) {
+      heartbeat = std::make_unique<HeartbeatWriter>(std::move(hb_path));
+      heartbeat->begin(num_points * static_cast<std::size_t>(n_seeds) -
+                           excluded,
+                       filled - excluded);
+    }
+  }
+
+  // One simulation job: runs (s, l, seed k), writes its pre-sized slot,
+  // journals, and feeds the observability sinks. Called from the serial
+  // loop and from pool workers alike.
+  std::mutex telemetry_mu;
+  const auto run_job = [&](std::size_t s, std::size_t l, std::size_t p,
+                           int k) {
+    Simulator sim(job_config(series[s].config, loads[l], k));
+    if (telemetry_ != nullptr) sim.set_telemetry(true);
+    const int job_pid = 1 + static_cast<int>(p) * n_seeds + k;
+    if (trace_ != nullptr && trace_packets_) sim.set_trace(trace_, job_pid);
+    SimResult r;
+    {
+      TraceWriter::Span span;
+      if (trace_ != nullptr) {
+        char name[96];
+        std::snprintf(name, sizeof(name), "%s load=%g seed=%d",
+                      series[s].label.c_str(), loads[l], k);
+        span = trace_->span("job", name, ThreadPool::current_worker());
+        if (trace_packets_) trace_->process_name(job_pid, name);
+      }
+      r = sim.run();
+    }
+    if (telemetry_ != nullptr) {
+      // Elementwise integer addition under a lock: commutative and
+      // associative, so the aggregate is independent of completion order.
+      std::lock_guard<std::mutex> lock(telemetry_mu);
+      telemetry_->merge(sim.network()->telemetry());
+    }
+    per_seed[p][static_cast<std::size_t>(k)] = r;
+    if (journal) journal->append(p, k, r);
+    if (heartbeat) heartbeat->on_job(r.cycles);
+  };
 
   if (jobs_ <= 1) {
     // Serial path: identical visiting order to the historical harness.
@@ -104,10 +187,7 @@ std::vector<SweepResult> SweepRunner::run(
         auto& slots = per_seed[p];
         for (int k = 0; k < n_seeds; ++k) {
           if (done[p][static_cast<std::size_t>(k)]) continue;
-          slots[static_cast<std::size_t>(k)] =
-              Simulator(job_config(series[s].config, loads[l], k)).run();
-          if (journal)
-            journal->append(p, k, slots[static_cast<std::size_t>(k)]);
+          run_job(s, l, p, k);
         }
         if (progress)
           progress(series[s].label, loads[l], aggregate_seeds(slots));
@@ -140,10 +220,7 @@ std::vector<SweepResult> SweepRunner::run(
         for (int k = 0; k < n_seeds; ++k) {
           if (done[p][static_cast<std::size_t>(k)]) continue;
           pool.submit([&, s, l, p, k] {
-            per_seed[p][static_cast<std::size_t>(k)] =
-                Simulator(job_config(series[s].config, loads[l], k)).run();
-            if (journal)
-              journal->append(p, k, per_seed[p][static_cast<std::size_t>(k)]);
+            run_job(s, l, p, k);
             if (remaining[p].fetch_sub(1) == 1 && progress) {
               const SimResult agg = aggregate_seeds(per_seed[p]);
               std::lock_guard<std::mutex> lock(progress_mu);
@@ -155,6 +232,7 @@ std::vector<SweepResult> SweepRunner::run(
     }
     pool.wait_idle();
   }
+  if (heartbeat) heartbeat->finish();
   if (journal) journal->close();
 
   // Deterministic reduction: grid order, never completion order.

@@ -20,6 +20,9 @@
 
 namespace flexnet {
 
+class TelemetryCounters;
+class TraceWriter;
+
 class SweepRunner {
  public:
   /// `jobs` worker threads; <= 1 runs everything inline on the calling
@@ -55,6 +58,27 @@ class SweepRunner {
   SweepRunner& set_shard(ShardSpec shard);
 
   const ShardSpec& shard() const { return shard_; }
+
+  /// Aggregates every job's telemetry counters (telemetry/telemetry.hpp)
+  /// into `aggregate` during subsequent run() calls, and enables counting
+  /// for those jobs. Merging is elementwise integer addition — commutative
+  /// and associative — so the aggregate is bit-identical for any worker
+  /// count and completion order. Jobs pre-filled from a checkpoint journal
+  /// were not simulated and contribute nothing. nullptr (default) disables.
+  SweepRunner& set_telemetry(TelemetryCounters* aggregate);
+
+  /// Emits Chrome-trace spans (telemetry/trace.hpp) for subsequent run()
+  /// calls: one span per simulation job on its worker's track, plus the
+  /// checkpoint journal's I/O spans. With `packet_spans`, every job also
+  /// records per-packet lifetime spans under its own trace process (pid =
+  /// 1 + global job index; ts in simulation cycles). nullptr disables.
+  SweepRunner& set_trace(TraceWriter* trace, bool packet_spans = false);
+
+  /// Appends heartbeat progress records to `path` during run() (see
+  /// telemetry/heartbeat.hpp). Defaults to the checkpoint sidecar
+  /// "<checkpoint>.hb" when a checkpoint path is set; an explicit empty
+  /// path after set_checkpoint disables the sidecar too.
+  SweepRunner& set_heartbeat(std::string path);
 
   /// Runs the full grid. `progress` (optional) is invoked once per
   /// aggregated (series, load) point as it completes; invocations are
@@ -94,6 +118,11 @@ class SweepRunner {
   int jobs_ = 1;
   std::string checkpoint_path_;
   ShardSpec shard_;
+  TelemetryCounters* telemetry_ = nullptr;
+  TraceWriter* trace_ = nullptr;
+  bool trace_packets_ = false;
+  std::string heartbeat_path_;
+  bool heartbeat_set_ = false;
 };
 
 }  // namespace flexnet

@@ -5,12 +5,21 @@
 
 namespace flexnet {
 
+namespace {
+thread_local int t_worker_index = 0;
+}  // namespace
+
 ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(1, num_threads);
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      t_worker_index = i + 1;
+      worker_loop();
+    });
 }
+
+int ThreadPool::current_worker() { return t_worker_index; }
 
 ThreadPool::~ThreadPool() {
   {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -10,6 +11,7 @@
 #include "core/admissibility.hpp"
 #include "routing/minimal.hpp"
 #include "scenario/registry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace flexnet {
 
@@ -82,6 +84,7 @@ void Network::build() {
   {
     const char* env = std::getenv("FLEXNET_DEBUG_STUCK");
     debug_stuck_ = env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+    record_routes_ = debug_stuck_ || trace_ != nullptr;
   }
 
   const int num_routers = topo_->num_routers();
@@ -124,6 +127,9 @@ void Network::build() {
   out_arb_.reserve(static_cast<std::size_t>(total_outputs));
   rng_.reserve(static_cast<std::size_t>(num_routers));
 
+  // Per-link VC counts feed the telemetry registry's shape (per-VC lanes).
+  std::vector<int> link_vcs(static_cast<std::size_t>(total_links), 0);
+
   for (RouterId r = 0; r < num_routers; ++r) {
     rng_.push_back(base.split(static_cast<std::uint64_t>(r)));
     const int ports = topo_->num_network_ports(r);
@@ -142,6 +148,7 @@ void Network::build() {
       in_.push_back(make_buffer(geom));
       out_.emplace_back(config_.output_buffer, config_.pipeline_latency);
       ledger_.emplace_back(geom.num_vcs, geom.private_per_vc, geom.shared);
+      link_vcs[static_cast<std::size_t>(link_at(r, p))] = geom.num_vcs;
 
       DirLink& link = links_[static_cast<std::size_t>(link_at(r, p))];
       link.to = desc.neighbor;
@@ -180,6 +187,18 @@ void Network::build() {
   scratch_requests_.resize(static_cast<std::size_t>(max_outputs));
   in_matched_.assign(static_cast<std::size_t>(max_inputs), 0);
   out_matched_.assign(static_cast<std::size_t>(max_outputs), 0);
+
+  // Telemetry: the registry is always shaped (cheap, one-time) so render()
+  // and merge() work even when counting is off; updates happen only when
+  // the build compiles them in AND the run enables them — by environment
+  // variable here, or explicitly via set_telemetry_enabled /
+  // Simulator::set_telemetry.
+  telem_.configure(num_routers, link_vcs);
+  {
+    const char* env = std::getenv("FLEXNET_TELEMETRY");
+    const bool on = env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+    set_telemetry_enabled(on);
+  }
 }
 
 int Network::port_occupancy(RouterId r, PortIndex p, bool min_only) const {
@@ -265,7 +284,34 @@ void Network::debug_dump_stuck(Cycle now, Cycle min_age) const {
   }
 }
 
+void Network::trace_packet(const Packet& pkt, PacketRef ref, Cycle now) const {
+  // One Chrome-trace complete event per consumed packet: ts/dur are the
+  // packet's in-network lifetime in cycles (rendered as microseconds —
+  // Perfetto's timeline is unit-agnostic), tid is the pool slot so spans
+  // on one track never overlap (a slot holds one live packet at a time).
+  std::string route;
+  if (static_cast<std::size_t>(ref) < traces_.size()) {
+    for (const std::int16_t hop : traces_[static_cast<std::size_t>(ref)]) {
+      if (!route.empty()) route += '>';
+      route += std::to_string(hop);
+    }
+  }
+  std::ostringstream args;
+  args << "{\"src\":" << pkt.src << ",\"dst\":" << pkt.dst
+       << ",\"hops\":" << pkt.hops << ",\"size\":" << pkt.size
+       << ",\"route\":\"" << route << "\"}";
+  trace_->complete("packet", "pkt" + std::to_string(pkt.id), trace_pid_,
+                   static_cast<int>(ref), static_cast<double>(pkt.injected),
+                   static_cast<double>(now - pkt.injected), args.str());
+}
+
 void Network::step(Cycle now) {
+  FLEXNET_TELEM(if (telem_.enabled()) {
+    telem_.on_step(static_cast<std::int64_t>(active_links_.size()),
+                   static_cast<std::int64_t>(alloc_routers_.size()),
+                   static_cast<std::int64_t>(send_routers_.size()),
+                   pool_.live());
+  });
   deliver(now);
   routing_->update(now);
   for (auto& node : nodes_) node->step(now, *this);
@@ -287,6 +333,8 @@ void Network::deliver(Cycle now) {
       link.data.pop_front();
       in_[static_cast<std::size_t>(input_at(link.to, link.to_port))].push(
           fp.vc, fp.ref, pool_[fp.ref].size);
+      FLEXNET_TELEM(if (telem_.enabled())
+                        telem_.on_delivery(li, pool_[fp.ref].size));
       ++router_buffered_[static_cast<std::size_t>(link.to)];
       alloc_routers_.add(link.to);
     }
@@ -298,6 +346,7 @@ void Network::deliver(Cycle now) {
     while (!link.credits.empty() && link.credits.front().arrive <= now) {
       const FlyingCredit& fc = link.credits.front();
       ledger.on_credit(fc.vc, fc.phits, fc.kind);
+      FLEXNET_TELEM(if (telem_.enabled()) telem_.on_credit(li, fc.phits));
       link.credits.pop_front();
     }
     return !link.data.empty() || !link.credits.empty();
@@ -335,12 +384,13 @@ bool Network::try_inject(NodeId n, Packet& pkt, Cycle now) {
   pkt.injected = now;
   pkt.vc_position = kInjectionPosition;
   const PacketRef ref = pool_.alloc(pkt);
-  if (debug_stuck_) {
+  if (record_routes_) {
     if (traces_.size() <= static_cast<std::size_t>(ref))
       traces_.resize(static_cast<std::size_t>(ref) + 1);
     traces_[static_cast<std::size_t>(ref)].clear();
   }
   buf.push(best, ref, pkt.size);
+  FLEXNET_TELEM(if (telem_.enabled()) telem_.on_injection(r));
   ++router_buffered_[static_cast<std::size_t>(r)];
   alloc_routers_.add(r);
   return true;
@@ -527,6 +577,14 @@ void Network::allocate(RouterId r, Cycle now) {
           }
         }
         grant(r, *chosen, now);
+        // Allocator contention: every proposal this output saw is a
+        // request; all but the granted one are conflicts (a proposal never
+        // targets an already-matched output, so requests = grants +
+        // conflicts).
+        FLEXNET_TELEM(if (telem_.enabled()) {
+          telem_.on_requests(r, static_cast<int>(reqs.size()));
+          telem_.on_conflicts(r, static_cast<int>(reqs.size()) - 1);
+        });
         in_matched_[static_cast<std::size_t>(chosen->in_port)] = true;
         out_matched_[static_cast<std::size_t>(o)] = true;
         in_arb_[static_cast<std::size_t>(input_at(r, chosen->in_port))]
@@ -544,6 +602,7 @@ void Network::grant(RouterId r, const Request& req, Cycle now) {
   Packet& pkt = pool_[slot.ref];
   last_grant_ = now;
   ++total_grants_;
+  FLEXNET_TELEM(if (telem_.enabled()) telem_.on_grant(r));
   if (req.option.is_escape && pkt.valiant != kInvalidRouter &&
       !pkt.valiant_reached) {
     ++escape_grants_;
@@ -561,6 +620,7 @@ void Network::grant(RouterId r, const Request& req, Cycle now) {
   }
 
   if (req.option.ejection) {
+    if (trace_ != nullptr) trace_packet(pkt, slot.ref, now);
     nodes_[static_cast<std::size_t>(pkt.dst)]->consume(pkt, now, *this);
     pool_.release(slot.ref);
     return;
@@ -579,11 +639,18 @@ void Network::grant(RouterId r, const Request& req, Cycle now) {
   }
   ++pkt.hops;
   const int li = link_at(r, req.option.out_port);
-  if (debug_stuck_)
+  if (record_routes_)
     traces_[static_cast<std::size_t>(slot.ref)].push_back(
         static_cast<std::int16_t>(links_[static_cast<std::size_t>(li)].to));
   ledger_[static_cast<std::size_t>(li)].on_send(req.out_vc, pkt.size,
                                                 pkt.route_kind);
+  FLEXNET_TELEM(if (telem_.enabled()) {
+    // Occupancy is sampled *after* the send lands in the ledger, so the
+    // sum divided by sends gives mean sender-side occupancy at send time.
+    const CreditLedger& lg = ledger_[static_cast<std::size_t>(li)];
+    telem_.on_send(li, req.out_vc, pkt.size, lg.occupied(req.out_vc),
+                   lg.occupied_port());
+  });
   out_[static_cast<std::size_t>(li)].accept(slot.ref, pkt.size, req.out_vc,
                                             now);
   ++router_in_pipe_[static_cast<std::size_t>(r)];

@@ -39,9 +39,12 @@
 #include "sim/config.hpp"
 #include "sim/metrics.hpp"
 #include "sim/node.hpp"
+#include "telemetry/telemetry.hpp"
 #include "traffic/traffic.hpp"
 
 namespace flexnet {
+
+class TraceWriter;
 
 class Network final : public CongestionOracle {
  public:
@@ -62,6 +65,27 @@ class Network final : public CongestionOracle {
   const Metrics& metrics() const { return metrics_; }
   const VcPolicy& policy() const { return *policy_; }
   RoutingAlgorithm& routing() { return *routing_; }
+
+  /// Telemetry counters of this network (telemetry/telemetry.hpp). Always
+  /// present and shaped; updated only when compiled in (FLEXNET_TELEMETRY)
+  /// *and* runtime-enabled — build() enables when the FLEXNET_TELEMETRY
+  /// environment variable is set, set_telemetry_enabled overrides.
+  const TelemetryCounters& telemetry() const { return telem_; }
+  void set_telemetry_enabled(bool on) {
+    telem_.set_enabled(on && FLEXNET_TELEMETRY != 0);
+  }
+
+  /// Opt-in per-packet lifetime spans: every consumed packet emits one
+  /// Chrome-trace event into `trace` under process id `pid` (ts/dur in
+  /// simulation cycles, tid = pool slot; see telemetry/trace.hpp). Also
+  /// turns on the per-hop route side store so spans carry the router path.
+  /// Independent of the FLEXNET_TELEMETRY compile guard — gated purely at
+  /// runtime, like the FLEXNET_DEBUG_STUCK diagnostics it reuses.
+  void set_trace(TraceWriter* trace, int pid) {
+    trace_ = trace;
+    trace_pid_ = pid;
+    record_routes_ = debug_stuck_ || trace_ != nullptr;
+  }
 
   /// Packets inside routers/links (excludes node source queues): the
   /// quantity the deadlock watchdog monitors. Exactly the PacketPool's
@@ -148,6 +172,7 @@ class Network final : public CongestionOracle {
   void build();
   void deliver(Cycle now);
   void allocate(RouterId r, Cycle now);
+  void trace_packet(const Packet& pkt, PacketRef ref, Cycle now) const;
   bool stage1_pick(RouterId r, PortIndex ip, Cycle now, Request& req);
   bool find_action(RouterId r, PortIndex ip, VcIndex vc, Cycle now,
                    Request& req);
@@ -225,10 +250,18 @@ class Network final : public CongestionOracle {
   std::vector<char> in_matched_;   // per input, one router at a time
   std::vector<char> out_matched_;  // per output, one router at a time
 
-  // Opt-in diagnostics (FLEXNET_DEBUG_STUCK): per-pool-slot router traces,
-  // recorded only when enabled.
+  // Opt-in diagnostics: the per-pool-slot router-route side store is
+  // recorded when either consumer is active — the FLEXNET_DEBUG_STUCK
+  // stalled-traffic dump or the per-packet trace spans (set_trace).
   bool debug_stuck_ = false;
+  bool record_routes_ = false;
   std::vector<std::vector<std::int16_t>> traces_;  // by pool slot
+
+  // Per-network telemetry counters; hot-path updates are compiled away
+  // when FLEXNET_TELEMETRY is 0 and branch-gated on enabled() otherwise.
+  TelemetryCounters telem_;
+  TraceWriter* trace_ = nullptr;
+  int trace_pid_ = 0;
 };
 
 }  // namespace flexnet

@@ -9,6 +9,9 @@ namespace flexnet {
 SimResult Simulator::run() {
   network_ = std::make_unique<Network>(config_);
   Network& net = *network_;
+  if (telemetry_override_ >= 0)
+    net.set_telemetry_enabled(telemetry_override_ != 0);
+  if (trace_ != nullptr) net.set_trace(trace_, trace_pid_);
   const int nodes = net.topology().num_nodes();
 
   SimResult result;
@@ -45,6 +48,10 @@ SimResult Simulator::run() {
   result.avg_hops = m.hops().mean();
   result.request_latency = m.latency_of(MsgClass::kRequest).mean();
   result.reply_latency = m.latency_of(MsgClass::kReply).mean();
+  result.latency_p50 = m.latency_hist().quantile(0.50);
+  result.latency_p99 = m.latency_hist().quantile(0.99);
+  result.latency_max =
+      static_cast<double>(m.latency_hist().max_value());
   result.consumed_packets = m.consumed_packets();
   result.cycles = now;
   return result;

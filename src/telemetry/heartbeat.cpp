@@ -1,0 +1,182 @@
+#include "telemetry/heartbeat.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace flexnet {
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// "key=value" fields split on single spaces.
+bool parse_field(const std::string& tok, const char* key, std::string* val) {
+  const std::string prefix = std::string(key) + "=";
+  if (tok.rfind(prefix, 0) != 0) return false;
+  *val = tok.substr(prefix.size());
+  return true;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  *out = std::strtoull(s.c_str(), &end, 10);
+  return errno == 0 && end == s.c_str() + s.size();
+}
+
+bool parse_double(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+HeartbeatWriter::HeartbeatWriter(std::string path, double min_interval)
+    : path_(std::move(path)), min_interval_(min_interval) {
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr)
+    log_warn("cannot open heartbeat file " + path_ +
+             "; the run continues without a liveness signal");
+}
+
+HeartbeatWriter::~HeartbeatWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void HeartbeatWriter::begin(std::size_t total, std::size_t prefilled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  start_seconds_ = steady_seconds();
+  total_ = total;
+  done_ = prefilled;
+  cycles_ = 0;
+  std::fprintf(file_, "flexnet-heartbeat v1 total=%zu prefilled=%zu\n", total,
+               prefilled);
+  write_hb_locked("HB");
+}
+
+void HeartbeatWriter::on_job(Cycle cycles) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++done_;
+  cycles_ += static_cast<std::int64_t>(cycles);
+  if (file_ == nullptr) return;
+  const double now = steady_seconds() - start_seconds_;
+  if (now - last_write_ < min_interval_) return;
+  write_hb_locked("HB");
+}
+
+void HeartbeatWriter::finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  write_hb_locked("HB");
+  const double wall = steady_seconds() - start_seconds_;
+  std::fprintf(file_, "END done=%zu total=%zu wall=%.3f\n", done_, total_,
+               wall);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+void HeartbeatWriter::write_hb_locked(const char* tag) {
+  const double wall = steady_seconds() - start_seconds_;
+  const double cps =
+      wall > 0.0 ? static_cast<double>(cycles_) / wall : 0.0;
+  const double jps = wall > 0.0 ? static_cast<double>(done_) / wall : 0.0;
+  std::fprintf(file_,
+               "%s done=%zu total=%zu cycles=%lld wall=%.3f "
+               "cycles_per_sec=%.1f jobs_per_sec=%.3f\n",
+               tag, done_, total_, static_cast<long long>(cycles_), wall,
+               cps, jps);
+  std::fflush(file_);
+  last_write_ = wall;
+}
+
+bool read_heartbeat(const std::string& path, HeartbeatStatus* out,
+                    std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error) *error = "cannot read heartbeat file " + path;
+    return false;
+  }
+  std::string line;
+  if (!std::getline(in, line) ||
+      line.rfind("flexnet-heartbeat v1 ", 0) != 0) {
+    if (error) *error = path + " is not a flexnet heartbeat file";
+    return false;
+  }
+
+  HeartbeatStatus status;
+  {
+    std::istringstream fields(line);
+    std::string tok, val;
+    while (fields >> tok) {
+      std::uint64_t u = 0;
+      if (parse_field(tok, "total", &val) && parse_u64(val, &u))
+        status.total = static_cast<std::size_t>(u);
+      else if (parse_field(tok, "prefilled", &val) && parse_u64(val, &u))
+        status.prefilled = static_cast<std::size_t>(u);
+    }
+  }
+
+  // Records: keep the last fully-parsed line; a torn or malformed trailing
+  // line (the writer mid-append, a crash) is skipped, never an error.
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string tag;
+    if (!(fields >> tag) || (tag != "HB" && tag != "END")) continue;
+    HeartbeatStatus rec = status;
+    rec.records = status.records;
+    bool have_done = false, have_wall = false;
+    std::string tok, val;
+    bool bad = false;
+    while (fields >> tok) {
+      std::uint64_t u = 0;
+      double d = 0.0;
+      if (parse_field(tok, "done", &val)) {
+        if (!parse_u64(val, &u)) { bad = true; break; }
+        rec.done = static_cast<std::size_t>(u);
+        have_done = true;
+      } else if (parse_field(tok, "total", &val)) {
+        if (!parse_u64(val, &u)) { bad = true; break; }
+        rec.total = static_cast<std::size_t>(u);
+      } else if (parse_field(tok, "cycles", &val)) {
+        if (!parse_u64(val, &u)) { bad = true; break; }
+        rec.cycles = static_cast<std::int64_t>(u);
+      } else if (parse_field(tok, "wall", &val)) {
+        if (!parse_double(val, &d)) { bad = true; break; }
+        rec.wall_seconds = d;
+        have_wall = true;
+      } else if (parse_field(tok, "cycles_per_sec", &val)) {
+        if (!parse_double(val, &d)) { bad = true; break; }
+        rec.cycles_per_sec = d;
+      } else if (parse_field(tok, "jobs_per_sec", &val)) {
+        if (!parse_double(val, &d)) { bad = true; break; }
+        rec.jobs_per_sec = d;
+      }
+    }
+    if (bad || !have_done || !have_wall) continue;
+    rec.finished = status.finished || tag == "END";
+    ++rec.records;
+    status = rec;
+  }
+
+  if (status.records == 0) {
+    if (error) *error = path + " holds no intact heartbeat records";
+    return false;
+  }
+  *out = status;
+  return true;
+}
+
+}  // namespace flexnet

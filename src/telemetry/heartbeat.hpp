@@ -1,0 +1,88 @@
+// Run-liveness heartbeat: SweepRunner appends periodic progress records to
+// a sidecar `<journal>.hb` file so an external watcher (the ROADMAP's shard
+// orchestrator) can distinguish "slow" from "dead" without parsing the
+// checkpoint journal. `flexnet_run --progress FILE.hb` renders the same
+// records for humans.
+//
+// File format (text, one record per line, torn last line tolerated):
+//
+//   flexnet-heartbeat v1 total=<jobs> prefilled=<restored-from-journal>
+//   HB done=<d> total=<N> cycles=<simulated> wall=<secs>
+//      cycles_per_sec=<rate> jobs_per_sec=<rate>   (one line in the file)
+//   END done=<d> total=<N> wall=<secs>
+//
+// Each run session truncates the file (a resume starts a fresh heartbeat;
+// `prefilled` records what the journal restored). Appends are throttled to
+// one record per `min_interval` seconds and flushed but never fsync'd —
+// liveness wants recency, not durability.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace flexnet {
+
+class HeartbeatWriter {
+ public:
+  /// Opens (truncates) `path`. `min_interval` seconds between HB records;
+  /// 0 writes one per completed job (tests). An unopenable path degrades
+  /// to a no-op writer (a sweep must never die for its heartbeat).
+  explicit HeartbeatWriter(std::string path, double min_interval = 1.0);
+  ~HeartbeatWriter();
+
+  HeartbeatWriter(const HeartbeatWriter&) = delete;
+  HeartbeatWriter& operator=(const HeartbeatWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Writes the header and an initial HB record. `prefilled` jobs were
+  /// restored from a checkpoint journal and count as done.
+  void begin(std::size_t total, std::size_t prefilled);
+
+  /// One job finished after simulating `cycles` cycles. Thread-safe;
+  /// appends an HB record at most every min_interval seconds.
+  void on_job(Cycle cycles);
+
+  /// Writes the final END record and closes the file.
+  void finish();
+
+ private:
+  void write_hb_locked(const char* tag);  // requires mu_ held
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::mutex mu_;
+  double min_interval_ = 1.0;
+  double start_seconds_ = 0.0;  // steady-clock origin of wall times
+  double last_write_ = -1.0;
+  std::size_t total_ = 0;
+  std::size_t done_ = 0;
+  std::int64_t cycles_ = 0;
+};
+
+/// The last state a heartbeat file reports.
+struct HeartbeatStatus {
+  std::size_t total = 0;
+  std::size_t prefilled = 0;
+  std::size_t done = 0;
+  std::int64_t cycles = 0;
+  double wall_seconds = 0.0;
+  double cycles_per_sec = 0.0;
+  double jobs_per_sec = 0.0;
+  bool finished = false;  ///< an END record was seen
+  std::size_t records = 0;
+};
+
+/// Parses a heartbeat file into the status of its last intact record. A
+/// torn or malformed trailing line is ignored (the writer may be mid-
+/// append). Returns false with `error` set when the file is unreadable or
+/// is not a heartbeat file.
+bool read_heartbeat(const std::string& path, HeartbeatStatus* out,
+                    std::string* error);
+
+}  // namespace flexnet

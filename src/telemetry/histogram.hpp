@@ -1,0 +1,101 @@
+// Fixed-bin power-of-two histogram for latency and hop distributions.
+//
+// The bin layout is a compile-time constant (64 log2 bins), so histograms
+// recorded by independent jobs, workers, or shards merge by elementwise
+// integer addition — commutative and associative, which is what lets the
+// sweep-level percentile fields stay bit-identical at any worker or shard
+// count: no merge order can change an integer sum.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace flexnet {
+
+/// Value v lands in bin bit_width(v): bin 0 holds v == 0, bin b >= 1 holds
+/// [2^(b-1), 2^b). Quantiles are deterministic estimates (rank-interpolated
+/// inside the selected bin), never exact order statistics — the tradeoff
+/// that makes the per-packet cost a bit-width and an increment. The exact
+/// maximum is tracked separately.
+class Log2Histogram {
+ public:
+  static constexpr int kBins = 64;
+
+  void reset() {
+    bins_.fill(0);
+    count_ = 0;
+    max_ = 0;
+  }
+
+  void add(std::int64_t v) {
+    ++bins_[static_cast<std::size_t>(bin_of(v))];
+    ++count_;
+    if (v > max_) max_ = v;
+  }
+
+  void merge(const Log2Histogram& other) {
+    for (int b = 0; b < kBins; ++b)
+      bins_[static_cast<std::size_t>(b)] +=
+          other.bins_[static_cast<std::size_t>(b)];
+    count_ += other.count_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  std::int64_t count() const { return count_; }
+  std::int64_t max_value() const { return max_; }
+  std::int64_t bin(int b) const {
+    return bins_[static_cast<std::size_t>(b)];
+  }
+
+  /// Quantile estimate for q in (0, 1]: the bin holding the ceil(q*count)-th
+  /// smallest sample, midpoint-interpolated across the bin's value range by
+  /// rank (a single-sample bin reports its midpoint). Exact for bin 0; the
+  /// top occupied bin is clamped to the recorded maximum so the estimate
+  /// never exceeds an observed value's successor. Returns 0 when empty.
+  double quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    std::int64_t rank =
+        static_cast<std::int64_t>(q * static_cast<double>(count_) + 0.5);
+    if (rank < 1) rank = 1;
+    if (rank > count_) rank = count_;
+    std::int64_t cum = 0;
+    const int top = bin_of(max_);
+    for (int b = 0; b < kBins; ++b) {
+      const std::int64_t n = bins_[static_cast<std::size_t>(b)];
+      if (n == 0) continue;
+      if (cum + n >= rank) {
+        if (b == 0) return 0.0;
+        const double lo =
+            static_cast<double>(std::int64_t{1} << (b - 1));
+        const double hi =
+            b == top ? static_cast<double>(max_) + 1.0 : lo * 2.0;
+        const double frac = (static_cast<double>(rank - cum) - 0.5) /
+                            static_cast<double>(n);
+        return lo + (hi - lo) * frac;
+      }
+      cum += n;
+    }
+    return static_cast<double>(max_);
+  }
+
+  /// bit_width(v), clamped to the bin range; negatives count as bin 0.
+  static int bin_of(std::int64_t v) {
+    if (v <= 0) return 0;
+#if defined(__GNUC__) || defined(__clang__)
+    const int b = 64 - __builtin_clzll(static_cast<unsigned long long>(v));
+#else
+    int b = 0;
+    for (std::int64_t x = v; x > 0; x >>= 1) ++b;
+#endif
+    return b < kBins ? b : kBins - 1;
+  }
+
+ private:
+  std::array<std::int64_t, kBins> bins_{};
+  std::int64_t count_ = 0;
+  std::int64_t max_ = 0;
+};
+
+}  // namespace flexnet

@@ -36,6 +36,9 @@ bool identical(const SimResult& a, const SimResult& b) {
          bits_equal(a.avg_hops, b.avg_hops) &&
          bits_equal(a.request_latency, b.request_latency) &&
          bits_equal(a.reply_latency, b.reply_latency) &&
+         bits_equal(a.latency_p50, b.latency_p50) &&
+         bits_equal(a.latency_p99, b.latency_p99) &&
+         bits_equal(a.latency_max, b.latency_max) &&
          a.consumed_packets == b.consumed_packets &&
          a.deadlock == b.deadlock && a.cycles == b.cycles;
 }
@@ -114,6 +117,9 @@ TEST(CheckpointJournal, RoundTripsRecordsBitExactly) {
   r.avg_hops = -0.0;
   r.request_latency = 123456.789;
   r.reply_latency = 0.0;
+  r.latency_p50 = 0.1 + 0.7;
+  r.latency_p99 = 1e308;  // near double max
+  r.latency_max = 4503599627370497.0;  // 2^52 + 1: needs every mantissa bit
   r.consumed_packets = 1234567890123ll;
   r.deadlock = false;
   r.cycles = 600;
@@ -171,13 +177,35 @@ TEST(CheckpointJournal, RecordOutOfGridRangeRejected) {
   write_file(
       path,
       journal_line(
-          "flexnet-checkpoint v1 fp=0000000000000007 points=4 seeds=2") +
-          journal_line("R 9 0 0x0p+0 0x0p+0 0x0p+0 0x0p+0 0x0p+0 0x0p+0 0 "
-                       "0 0") +
-          journal_line("R 0 0 0x0p+0 0x0p+0 0x0p+0 0x0p+0 0x0p+0 0x0p+0 0 "
-                       "0 0"));
+          "flexnet-checkpoint v2 fp=0000000000000007 points=4 seeds=2") +
+          journal_line("R 9 0 0x0p+0 0x0p+0 0x0p+0 0x0p+0 0x0p+0 0x0p+0 "
+                       "0x0p+0 0x0p+0 0x0p+0 0 0 0") +
+          journal_line("R 0 0 0x0p+0 0x0p+0 0x0p+0 0x0p+0 0x0p+0 0x0p+0 "
+                       "0x0p+0 0x0p+0 0x0p+0 0 0 0"));
   EXPECT_THROW(CheckpointJournal(path).open(7, 4, 2), CheckpointError)
       << "point index out of range must not be silently dropped";
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointJournal, OlderFormatVersionNamedInTheError) {
+  // A v1 journal (pre-percentile records) must be called out as a format
+  // mismatch, not generic corruption — the fix (re-run the sweep) is
+  // different from the fix for a damaged file.
+  const std::string path = temp_path("ck_v1.journal");
+  write_file(path,
+             journal_line(
+                 "flexnet-checkpoint v1 fp=0000000000000007 points=4 "
+                 "seeds=2") +
+                 journal_line("R 0 0 0x0p+0 0x0p+0 0x0p+0 0x0p+0 0x0p+0 "
+                              "0x0p+0 0 0 0"));
+  try {
+    CheckpointJournal(path).open(7, 4, 2);
+    FAIL() << "a v1 journal must not open";
+  } catch (const CheckpointError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("older record format"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("v2"), std::string::npos) << msg;
+  }
   std::remove(path.c_str());
 }
 

@@ -87,6 +87,8 @@ bool identical(const SimResult& a, const SimResult& b) {
          a.avg_latency == b.avg_latency && a.avg_hops == b.avg_hops &&
          a.request_latency == b.request_latency &&
          a.reply_latency == b.reply_latency &&
+         a.latency_p50 == b.latency_p50 && a.latency_p99 == b.latency_p99 &&
+         a.latency_max == b.latency_max &&
          a.consumed_packets == b.consumed_packets &&
          a.deadlock == b.deadlock && a.cycles == b.cycles;
 }
@@ -163,6 +165,9 @@ SimResult fake_result(double accepted, double latency, bool deadlock = false) {
   r.accepted = accepted;
   r.avg_latency = latency;
   r.avg_hops = 3.0;
+  r.latency_p50 = latency * 0.9;
+  r.latency_p99 = latency * 2.5;
+  r.latency_max = latency * 3.0;
   r.consumed_packets = 100;
   r.cycles = 1000;
   r.deadlock = deadlock;
@@ -180,6 +185,10 @@ TEST(SweepRunner, DeadlockedSeedExcludedFromAverages) {
   // Averages over the two surviving seeds only.
   EXPECT_DOUBLE_EQ(agg.accepted, 0.5 / 2 + 0.7 / 2);
   EXPECT_DOUBLE_EQ(agg.avg_latency, 100.0 / 2 + 200.0 / 2);
+  // Percentiles average like the other latencies; the max stays a max —
+  // the worst latency any surviving seed observed.
+  EXPECT_DOUBLE_EQ(agg.latency_p50, 90.0 / 2 + 180.0 / 2);
+  EXPECT_DOUBLE_EQ(agg.latency_max, 600.0);
   EXPECT_EQ(agg.consumed_packets, 200);
 }
 
@@ -228,6 +237,9 @@ bool bitwise_identical(const SimResult& a, const SimResult& b) {
          deq(a.avg_latency, b.avg_latency) && deq(a.avg_hops, b.avg_hops) &&
          deq(a.request_latency, b.request_latency) &&
          deq(a.reply_latency, b.reply_latency) &&
+         deq(a.latency_p50, b.latency_p50) &&
+         deq(a.latency_p99, b.latency_p99) &&
+         deq(a.latency_max, b.latency_max) &&
          a.consumed_packets == b.consumed_packets &&
          a.deadlock == b.deadlock && a.cycles == b.cycles;
 }
@@ -309,6 +321,9 @@ TEST(SweepRunner, OneSurvivorAggregatesToExactlyThatSeed) {
   EXPECT_DOUBLE_EQ(agg.accepted, survivor.accepted);
   EXPECT_DOUBLE_EQ(agg.avg_latency, survivor.avg_latency);
   EXPECT_DOUBLE_EQ(agg.avg_hops, survivor.avg_hops);
+  EXPECT_DOUBLE_EQ(agg.latency_p50, survivor.latency_p50);
+  EXPECT_DOUBLE_EQ(agg.latency_p99, survivor.latency_p99);
+  EXPECT_DOUBLE_EQ(agg.latency_max, survivor.latency_max);
   EXPECT_EQ(agg.consumed_packets, survivor.consumed_packets);
   // Cycles stay a total over *all* seeds, deadlocked included.
   EXPECT_EQ(agg.cycles, 3000);
@@ -345,6 +360,9 @@ TEST(JsonReport, EmitsExpectedKeysAndValues) {
   EXPECT_NE(doc.find("\"load\": 0.25"), std::string::npos);
   EXPECT_NE(doc.find("\"accepted\": 0.25"), std::string::npos);
   EXPECT_NE(doc.find("\"latency\": 150"), std::string::npos);
+  EXPECT_NE(doc.find("\"latency_p50\": 135"), std::string::npos);
+  EXPECT_NE(doc.find("\"latency_p99\": 375"), std::string::npos);
+  EXPECT_NE(doc.find("\"latency_max\": 450"), std::string::npos);
   EXPECT_NE(doc.find("\"consumed_packets\": 100"), std::string::npos);
   EXPECT_NE(doc.find("\"deadlock\": true"), std::string::npos);
   EXPECT_NE(doc.find("\"deadlock\": false"), std::string::npos);

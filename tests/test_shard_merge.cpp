@@ -196,6 +196,9 @@ SimResult make_result(double v, bool deadlock = false) {
   r.avg_hops = 3.0 + v;
   r.request_latency = v * 7;
   r.reply_latency = v * 9;
+  r.latency_p50 = v * 90;
+  r.latency_p99 = v * 250;
+  r.latency_max = v * 300;
   r.consumed_packets = static_cast<std::int64_t>(v * 1000);
   r.deadlock = deadlock;
   r.cycles = 600;

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hpp"
 #include "runner/json_parser.hpp"
 
 using flexnet::JsonValue;
@@ -141,8 +142,10 @@ JsonValue summarize_microbench(const JsonValue& report,
       JsonValue c_out = JsonValue::make_object();
       // consumed_packets/grants together are the cross-core checksum
       // bench_hot_path documents — carry both into the trajectory.
-      for (const char* key : {"name", "cycles", "wall_seconds",
-                              "cycles_per_sec", "consumed_packets", "grants"})
+      for (const char* key :
+           {"name", "cycles", "wall_seconds", "cycles_per_sec",
+            "cycles_per_sec_telemetry", "telemetry_overhead",
+            "consumed_packets", "grants"})
         if (const JsonValue* v = c.find(key)) c_out.set(key, *v);
       if (const JsonValue* wall = c.find("wall_seconds"))
         wall_total += wall->number_or(0.0);
@@ -152,6 +155,8 @@ JsonValue summarize_microbench(const JsonValue& report,
   }
   if (const JsonValue* geomean = report.find("geomean_cycles_per_sec"))
     entry.set("geomean_cycles_per_sec", *geomean);
+  if (const JsonValue* ratio = report.find("geomean_telemetry_overhead"))
+    entry.set("geomean_telemetry_overhead", *ratio);
   entry.set("wall_seconds", JsonValue::make_number(wall_total));
   entry.set("sim_jobs", JsonValue::make_number(cases));
   entry.set("microbench", std::move(cases_out));
@@ -223,8 +228,7 @@ int main(int argc, char** argv) {
   // whole trajectory fold — the surviving reports still land in --out.
   std::size_t skipped = 0;
   const auto skip = [&](const std::string& input, const std::string& why) {
-    std::fprintf(stderr, "warning: skipping report %s: %s\n", input.c_str(),
-                 why.c_str());
+    flexnet::log_warn("skipping report " + input + ": " + why);
     ++skipped;
   };
   for (const std::string& input : inputs) {

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cli_util.hpp"
+#include "common/log.hpp"
 #include "common/options.hpp"
 #include "runner/checkpoint.hpp"
 #include "runner/json_report.hpp"
@@ -153,11 +154,11 @@ int main(int argc, char** argv) {
         num_points * static_cast<std::size_t>(suite.seeds);
     const std::size_t missing = total_jobs - records.size();
     if (missing > 0) {
-      std::fprintf(stderr,
-                   "warning: merged journals cover %zu of %zu jobs (%zu "
-                   "missing) — the report below is partial; re-run the "
-                   "missing shard(s) and merge again\n",
-                   records.size(), total_jobs, missing);
+      log_warn("merged journals cover " + std::to_string(records.size()) +
+               " of " + std::to_string(total_jobs) + " jobs (" +
+               std::to_string(missing) +
+               " missing) — the report below is partial; re-run the "
+               "missing shard(s) and merge again");
     }
 
     if (!out_path.empty()) {

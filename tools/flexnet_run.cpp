@@ -2,8 +2,10 @@
 // scenario/suite.hpp) through the parallel sweep runner.
 //
 //   flexnet_run SUITE.json [--jobs N] [--json PATH] [--checkpoint PATH]
-//               [--shard i/N] [key=value ...]
+//               [--shard i/N] [--counters PATH] [--trace-out PATH]
+//               [--trace-packets] [key=value ...]
 //   flexnet_run --list
+//   flexnet_run --progress FILE.hb
 //
 // The base configuration is the bench default (Table V at the FLEXNET_SCALE
 // system, FLEXNET_SEEDS seeds) so a suite file reproduces the corresponding
@@ -13,6 +15,13 @@
 // interrupted run; --shard i/N runs only the i-th of N disjoint job subsets
 // (one process per shard, merged back by tools/flexnet_merge); --list
 // prints every component registered with the scenario registries and exits.
+//
+// Observability (README "Observability"): --counters aggregates the
+// deterministic telemetry counters over every job and writes the snapshot
+// to PATH ("-" for stdout); --trace-out writes a Chrome-trace/Perfetto
+// JSON of the run (suite + job + checkpoint-I/O spans; --trace-packets
+// adds per-packet lifetime spans); --progress renders the heartbeat
+// sidecar a checkpointed run appends to (<checkpoint>.hb) and exits.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +30,7 @@
 #include <vector>
 
 #include "cli_util.hpp"
+#include "common/log.hpp"
 #include "common/options.hpp"
 #include "runner/checkpoint.hpp"
 #include "runner/json_report.hpp"
@@ -31,6 +41,9 @@
 #include "scenario/suite.hpp"
 #include "sim/config.hpp"
 #include "sim/experiment.hpp"
+#include "telemetry/heartbeat.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace {
 
@@ -40,8 +53,10 @@ int usage(const char* argv0, std::FILE* out = stderr, int code = 2) {
   std::fprintf(
       out,
       "usage: %s SUITE.json [--jobs N] [--json PATH] [--checkpoint PATH]\n"
-      "       %*s [--shard i/N] [key=value ...]\n"
+      "       %*s [--shard i/N] [--counters PATH] [--trace-out PATH]\n"
+      "       %*s [--trace-packets] [key=value ...]\n"
       "       %s --list\n"
+      "       %s --progress FILE.hb\n"
       "\n"
       "Runs the scenario suite described by SUITE.json on the parallel\n"
       "sweep runner. Results are bit-identical for any --jobs count.\n"
@@ -50,10 +65,34 @@ int usage(const char* argv0, std::FILE* out = stderr, int code = 2) {
       "  --checkpoint PATH journal completed jobs to PATH and resume from it\n"
       "  --shard i/N       run only the i-th of N disjoint job subsets\n"
       "                    (1-based); merge the journals with flexnet_merge\n"
+      "  --counters PATH   aggregate telemetry counters over every job and\n"
+      "                    write the snapshot to PATH ('-' for stdout)\n"
+      "  --trace-out PATH  write a Chrome-trace/Perfetto JSON of the run\n"
+      "  --trace-packets   add per-packet lifetime spans to --trace-out\n"
+      "  --progress FILE   render a heartbeat sidecar (<checkpoint>.hb)\n"
+      "                    and exit\n"
       "  --list            print every registered component and exit\n"
       "  key=value         config overrides applied after the suite's base\n",
-      argv0, static_cast<int>(std::strlen(argv0)), "", argv0);
+      argv0, static_cast<int>(std::strlen(argv0)), "",
+      static_cast<int>(std::strlen(argv0)), "", argv0, argv0);
   return code;
+}
+
+int render_progress(const std::string& path) {
+  HeartbeatStatus hb;
+  std::string error;
+  if (!read_heartbeat(path, &hb, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s: %zu/%zu jobs done (%zu restored from journal)%s\n",
+              path.c_str(), hb.done, hb.total, hb.prefilled,
+              hb.finished ? ", finished" : ", running");
+  std::printf("  %.1fs wall, %lld cycles simulated, %.0f cycles/sec, "
+              "%.3f jobs/sec\n",
+              hb.wall_seconds, static_cast<long long>(hb.cycles),
+              hb.cycles_per_sec, hb.jobs_per_sec);
+  return 0;
 }
 
 void print_registries() {
@@ -81,6 +120,10 @@ int main(int argc, char** argv) {
   std::string suite_path;
   std::string json_path;
   std::string checkpoint_path;
+  std::string counters_path;
+  std::string trace_path;
+  std::string progress_path;
+  bool trace_packets = false;
   ShardSpec shard;
   int jobs = ThreadPool::default_jobs();
   bool list = false;
@@ -112,6 +155,14 @@ int main(int argc, char** argv) {
       checkpoint_path = value;
     } else if (flag_value("shard", &value)) {
       parse_shard_or_die(value);
+    } else if (flag_value("counters", &value)) {
+      counters_path = value;
+    } else if (flag_value("trace-out", &value)) {
+      trace_path = value;
+    } else if (tok == "--trace-packets") {
+      trace_packets = true;
+    } else if (flag_value("progress", &value)) {
+      progress_path = value;
     } else if (tok.rfind("--", 0) == 0) {
       std::fprintf(stderr, "error: unknown flag '%s'\n", tok.c_str());
       return usage(argv[0]);
@@ -141,7 +192,18 @@ int main(int argc, char** argv) {
   }
 
   if (list) print_registries();
+  if (!progress_path.empty()) return render_progress(progress_path);
   if (suite_path.empty()) return list ? 0 : usage(argv[0]);
+  if (trace_packets && trace_path.empty()) {
+    log_warn("--trace-packets has no effect without --trace-out");
+    trace_packets = false;
+  }
+#if !FLEXNET_TELEMETRY
+  if (!counters_path.empty())
+    log_warn("--counters: telemetry hooks are compiled out "
+             "(built with -DFLEXNET_TELEMETRY=OFF); every counter will "
+             "read zero");
+#endif
 
   try {
     // The same bench-default + suite + CLI-override grid flexnet_merge
@@ -165,16 +227,37 @@ int main(int argc, char** argv) {
                    shard.to_string().c_str(), plan.job_count(),
                    plan.total_jobs());
       if (checkpoint_path.empty())
-        std::fprintf(stderr,
-                     "  warning: --shard without --checkpoint discards this "
-                     "shard's results — nothing will be left to merge\n");
+        log_warn("--shard without --checkpoint discards this shard's "
+                 "results — nothing will be left to merge");
     }
+
+    TraceWriter trace(trace_path);  // empty path: inert writer
+    if (!trace_path.empty() && !trace.ok()) return 1;  // warning logged
+    TelemetryCounters counters;
+
+    if (!checkpoint_path.empty())
+      std::fprintf(stderr, "  heartbeat: %s.hb (watch with %s --progress)\n",
+                   checkpoint_path.c_str(), argv[0]);
     const auto t0 = std::chrono::steady_clock::now();
     SweepRunner runner(jobs);
     runner.set_checkpoint(checkpoint_path);
     runner.set_shard(shard);
-    const std::vector<SweepResult> sweeps =
-        runner.run(grid, spec.loads, seeds, progress);
+    if (!trace_path.empty()) runner.set_trace(&trace, trace_packets);
+    if (!counters_path.empty()) runner.set_telemetry(&counters);
+    std::vector<SweepResult> sweeps;
+    {
+      // The whole sweep (this process's shard of it) is one top-level span.
+      TraceWriter::Span suite_span;
+      if (!trace_path.empty()) {
+        trace.process_name(0, "flexnet_run");
+        const std::string name =
+            shard.sharded() ? spec.title + " shard " + shard.to_string()
+                            : spec.title;
+        suite_span = trace.span("suite", name, 0);
+      }
+      sweeps = runner.run(grid, spec.loads, seeds, progress);
+    }
+    trace.close();
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -183,6 +266,29 @@ int main(int argc, char** argv) {
 
     print_sweep_table(spec.title, sweeps);
     print_throughput_summary(spec.title, sweeps);
+
+    if (!counters_path.empty()) {
+      const std::string snapshot = counters.render();
+      if (counters_path == "-") {
+        std::fwrite(snapshot.data(), 1, snapshot.size(), stdout);
+      } else {
+        std::FILE* f = std::fopen(counters_path.c_str(), "wb");
+        const bool ok =
+            f != nullptr &&
+            std::fwrite(snapshot.data(), 1, snapshot.size(), f) ==
+                snapshot.size();
+        if (f != nullptr) std::fclose(f);
+        if (!ok) {
+          log_error("could not write telemetry counters to " + counters_path);
+          return 1;
+        }
+        std::fprintf(stderr, "telemetry counters written to %s\n",
+                     counters_path.c_str());
+      }
+    }
+    if (!trace_path.empty())
+      std::fprintf(stderr, "trace written to %s (open in ui.perfetto.dev)\n",
+                   trace_path.c_str());
 
     if (!json_path.empty()) {
       JsonReport report;
