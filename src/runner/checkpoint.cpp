@@ -322,8 +322,8 @@ std::vector<CheckpointRecord> CheckpointJournal::open(
 
   file_ = std::fopen(path_.c_str(), "ab");
   if (file_ == nullptr)
-    throw CheckpointError("cannot open checkpoint journal for append: " +
-                          path_);
+    throw CheckpointIoError("cannot open checkpoint journal for append: " +
+                            path_);
   if (!scan.have_header) {
     write_line(expected_header);
     flush_locked();

@@ -55,6 +55,17 @@ class CheckpointError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+/// The I/O flavor of CheckpointError: the grid and journal agree, but the
+/// filesystem failed us (unwritable path, lost appends). Distinguished so
+/// CLIs can exit with the transient I/O code (exit_codes.hpp) — an
+/// orchestrator retries these, while a plain CheckpointError (fingerprint
+/// mismatch, corruption) repeats forever and must not burn retries.
+class CheckpointIoError : public CheckpointError {
+ public:
+  explicit CheckpointIoError(const std::string& what)
+      : CheckpointError(what) {}
+};
+
 /// One journaled job result.
 struct CheckpointRecord {
   std::size_t point = 0;  ///< series_index * loads.size() + load_index

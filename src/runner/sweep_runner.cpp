@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 
@@ -146,6 +148,16 @@ std::vector<SweepResult> SweepRunner::run(
     }
   }
 
+  // Deterministic fault hook for the orchestrator's test battery and CI:
+  // with FLEXNET_FAULT_CRASH_AFTER_JOBS=K set, the process SIGKILLs
+  // itself the moment its K-th job of this run completes — exactly the
+  // node-loss crash (stdio buffers lost, journal tail possibly torn) the
+  // checkpoint/restart machinery must absorb. Unset (the only state
+  // outside fault tests), the hook costs one getenv per run().
+  const char* crash_env = std::getenv("FLEXNET_FAULT_CRASH_AFTER_JOBS");
+  const long crash_after = crash_env != nullptr ? std::atol(crash_env) : 0;
+  std::atomic<long> crash_jobs{0};
+
   // One simulation job: runs (s, l, seed k), writes its pre-sized slot,
   // journals, and feeds the observability sinks. Called from the serial
   // loop and from pool workers alike.
@@ -177,6 +189,11 @@ std::vector<SweepResult> SweepRunner::run(
     per_seed[p][static_cast<std::size_t>(k)] = r;
     if (journal) journal->append(p, k, r);
     if (heartbeat) heartbeat->on_job(r.cycles);
+    if (crash_after > 0 &&
+        crash_jobs.fetch_add(1, std::memory_order_relaxed) + 1 ==
+            crash_after) {
+      std::raise(SIGKILL);
+    }
   };
 
   if (jobs_ <= 1) {
@@ -233,7 +250,19 @@ std::vector<SweepResult> SweepRunner::run(
     pool.wait_idle();
   }
   if (heartbeat) heartbeat->finish();
-  if (journal) journal->close();
+  if (journal) {
+    journal->close();
+    // A journal that lost appends mid-run (disk full, yanked mount) must
+    // fail the process loudly: an exit-0 shard with a silently incomplete
+    // journal would make the orchestrator skip the restart that recovers
+    // the records. The results in memory are complete, but the run's
+    // durable output is not.
+    if (journal->failed())
+      throw CheckpointIoError(
+          "checkpoint journal " + checkpoint_path_ +
+          " lost records to an I/O failure; re-run with the same "
+          "--checkpoint to resume from the last good record");
+  }
 
   // Deterministic reduction: grid order, never completion order.
   return reduce_slots(series, loads, per_seed);

@@ -1,5 +1,7 @@
 #include "telemetry/heartbeat.hpp"
 
+#include <sys/stat.h>
+
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -10,13 +12,16 @@
 #include "common/log.hpp"
 
 namespace flexnet {
-namespace {
 
-double steady_seconds() {
+double monotonic_seconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+namespace {
+
+double steady_seconds() { return monotonic_seconds(); }
 
 /// "key=value" fields split on single spaces.
 bool parse_field(const std::string& tok, const char* key, std::string* val) {
@@ -177,6 +182,50 @@ bool read_heartbeat(const std::string& path, HeartbeatStatus* out,
   }
   *out = status;
   return true;
+}
+
+HeartbeatMonitor::HeartbeatMonitor(std::string path, Clock clock)
+    : path_(std::move(path)),
+      clock_(clock ? std::move(clock) : Clock(&monotonic_seconds)) {
+  last_advance_ = clock_();
+}
+
+const HeartbeatStatus& HeartbeatMonitor::poll() {
+  const double now = clock_();
+
+  // File size first: a torn half-line the parser ignores is still bytes
+  // the writer appended — evidence of life the record-level diff below
+  // would miss.
+  struct stat st {};
+  const long long size =
+      ::stat(path_.c_str(), &st) == 0
+          ? static_cast<long long>(st.st_size)
+          : -1;
+
+  HeartbeatStatus parsed;
+  std::string error;
+  bool advanced = false;
+  if (read_heartbeat(path_, &parsed, &error)) {
+    if (!ever_read_ || parsed.records != last_.records ||
+        parsed.done != last_.done || parsed.total != last_.total ||
+        parsed.cycles != last_.cycles ||
+        parsed.finished != last_.finished) {
+      advanced = true;
+    }
+    last_ = parsed;
+    ever_read_ = true;
+  }
+  if (size != last_size_) advanced = true;
+  last_size_ = size;
+  if (advanced) last_advance_ = now;
+  return last_;
+}
+
+void HeartbeatMonitor::reset() {
+  ever_read_ = false;
+  last_ = HeartbeatStatus{};
+  last_size_ = -1;
+  last_advance_ = clock_();
 }
 
 }  // namespace flexnet

@@ -19,12 +19,17 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <mutex>
 #include <string>
 
 #include "common/types.hpp"
 
 namespace flexnet {
+
+/// Seconds on the process-wide steady clock — the time base of every
+/// heartbeat wall field and of HeartbeatMonitor's stale-age bookkeeping.
+double monotonic_seconds();
 
 class HeartbeatWriter {
  public:
@@ -81,8 +86,60 @@ struct HeartbeatStatus {
 /// Parses a heartbeat file into the status of its last intact record. A
 /// torn or malformed trailing line is ignored (the writer may be mid-
 /// append). Returns false with `error` set when the file is unreadable or
-/// is not a heartbeat file.
+/// is not a heartbeat file. The single heartbeat reader: `flexnet_run
+/// --progress` renders what it returns and the orchestrator's
+/// HeartbeatMonitor polls through it.
 bool read_heartbeat(const std::string& path, HeartbeatStatus* out,
                     std::string* error);
+
+/// Liveness watcher over one heartbeat file: repeated poll() calls re-read
+/// the file and track when it last *advanced* — a new intact record, a
+/// changed done/total/finished state, or simply more bytes on disk (a
+/// torn line mid-append is still proof of life). stale_age() is the
+/// seconds since that last advance; an orchestrator compares it against
+/// its stale timeout to tell "slow" from "dead or wedged".
+///
+/// The timeout a caller picks must exceed the longest *single job*: the
+/// writer appends only on job completion (throttled to its min_interval),
+/// so a shard grinding through one long simulation is silent in between.
+///
+/// The clock is injectable (seconds, monotonic) so staleness arithmetic
+/// is unit-testable without sleeping; the default is monotonic_seconds.
+class HeartbeatMonitor {
+ public:
+  using Clock = std::function<double()>;
+
+  explicit HeartbeatMonitor(std::string path, Clock clock = {});
+
+  const std::string& path() const { return path_; }
+
+  /// Re-reads the file, updating last() and the stale clock. Returns the
+  /// last successfully parsed status (a default-constructed one until the
+  /// file first parses — check ever_read()).
+  const HeartbeatStatus& poll();
+
+  /// True once the file has parsed as a heartbeat at least once since
+  /// construction or reset().
+  bool ever_read() const { return ever_read_; }
+
+  const HeartbeatStatus& last() const { return last_; }
+
+  /// Seconds since the last observed advance — or since construction /
+  /// reset() while the file has never advanced (a shard that dies before
+  /// its first heartbeat still goes stale and gets restarted).
+  double stale_age() const { return clock_() - last_advance_; }
+
+  /// Forgets all history and restarts the stale clock at now; call when
+  /// relaunching the process the file belongs to.
+  void reset();
+
+ private:
+  std::string path_;
+  Clock clock_;
+  HeartbeatStatus last_{};
+  bool ever_read_ = false;
+  long long last_size_ = -1;  // bytes at last poll; -1 = missing
+  double last_advance_ = 0.0;
+};
 
 }  // namespace flexnet

@@ -1,8 +1,12 @@
 // CLI-level contracts of the tool binaries (spawned from the build dir,
-// FLEXNET_BIN_DIR): flexnet_run must reject malformed --shard specs with
-// a clear non-zero exit, and bench_trajectory must skip (not abort on)
-// empty or half-written reports — the regression a crashed shard used to
-// cause in the trajectory fold.
+// FLEXNET_BIN_DIR): flexnet_run's exit-code taxonomy (2 permanent, 3
+// deadlock-only, 4 output I/O — the contract the orchestrator's retry
+// policy keys off), flexnet_merge's --out safety and --watch mode
+// (honest partial reports, monotonically shrinking missing_jobs, final
+// tick byte-identical to a one-shot merge), flexnet_orchestrate's
+// --emit-commands and fault-injected supervision, and bench_trajectory's
+// skip of empty/half-written/partial reports — the regression a crashed
+// shard (or a mid-sweep --watch report) used to cause in the fold.
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
@@ -93,6 +97,87 @@ TEST(FlexnetRunCli, ValidShardRunsItsSubsetAndWarnsWithoutCheckpoint) {
 }
 
 // ---------------------------------------------------------------------------
+// flexnet_run exit codes: the orchestrator's retry policy depends on 2
+// meaning "permanent — do not retry" and 3/4 meaning what they claim.
+
+TEST(FlexnetRunCli, SuiteConfigAndStaleCheckpointErrorsExit2) {
+  // A missing suite file.
+  CmdResult r = run_cmd(bin("flexnet_run") + " " +
+                        temp_path("no_such_suite.json"));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+
+  // An unknown config key (the typo guard).
+  r = run_cmd(bin("flexnet_run") + " " + shipped_suite("smoke_tiny.json") +
+              " warmupp=50");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("unknown config key"), std::string::npos)
+      << r.output;
+
+  // A checkpoint journal for a different grid: rerunning repeats the
+  // mismatch forever, so it must be permanent, not retried.
+  const std::string ck = temp_path("cli_stale_ck.journal");
+  std::remove(ck.c_str());
+  r = run_cmd(bin("flexnet_run") + " " + shipped_suite("smoke_tiny.json") +
+              " --shard 1/12 --checkpoint " + ck +
+              " warmup=50 measure=100");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  r = run_cmd(bin("flexnet_run") + " " + shipped_suite("smoke_tiny.json") +
+              " --shard 1/12 --checkpoint " + ck +
+              " warmup=50 measure=200");
+  EXPECT_EQ(r.exit_code, 2) << "a changed grid must exit 2\n" << r.output;
+  std::remove(ck.c_str());
+  std::remove((ck + ".hb").c_str());
+}
+
+TEST(FlexnetRunCli, OutputIoFailuresExit4) {
+  const std::string bad_dir = temp_path("cli_no_such_dir/");
+  // --json into a missing directory: the sweep runs, the write fails.
+  CmdResult r = run_cmd(bin("flexnet_run") + " " +
+                        shipped_suite("smoke_tiny.json") +
+                        " --shard 1/12 warmup=50 measure=100 --json " +
+                        bad_dir + "x.json");
+  EXPECT_EQ(r.exit_code, 4) << r.output;
+
+  // --checkpoint into a missing directory: the journal cannot open.
+  r = run_cmd(bin("flexnet_run") + " " + shipped_suite("smoke_tiny.json") +
+              " --shard 1/12 warmup=50 measure=100 --checkpoint " +
+              bad_dir + "x.journal");
+  EXPECT_EQ(r.exit_code, 4) << r.output;
+}
+
+TEST(FlexnetRunCli, DeadlockOnlyGridExits3WithOutputsWritten) {
+  // The paper's deadlock lab as a suite: a DAMQ with no private
+  // reservation at saturation deadlocks every seed. Exit 3 says so
+  // without parsing tables — but the report is written and the rows are
+  // real results.
+  const std::string suite = temp_path("cli_deadlock_suite.json");
+  const std::string json = temp_path("cli_deadlock.json");
+  std::remove(json.c_str());
+  write_file(suite, R"json({
+    "title": "deadlock lab",
+    "base": {"vcs": "2/1", "buffer_org": "damq",
+             "damq_private_fraction": 0.0, "watchdog": 2000,
+             "warmup": 200, "measure": 5000},
+    "series": [{"label": "DAMQ 0% private", "overrides": {}}],
+    "loads": [1.0],
+    "seeds": 1
+  })json");
+
+  const CmdResult r =
+      run_cmd(bin("flexnet_run") + " " + suite + " --json " + json);
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("every aggregated row deadlocked"),
+            std::string::npos)
+      << r.output;
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(read_file(json), &doc, &error))
+      << "the report must be written before exiting 3: " << error;
+  std::remove(suite.c_str());
+  std::remove(json.c_str());
+}
+
+// ---------------------------------------------------------------------------
 // flexnet_merge --out safety.
 
 TEST(FlexnetMergeCli, ExistingOutPathRefusedBeforeTouchingAnyFile) {
@@ -108,6 +193,204 @@ TEST(FlexnetMergeCli, ExistingOutPathRefusedBeforeTouchingAnyFile) {
   EXPECT_NE(r.output.find("already exists"), std::string::npos) << r.output;
   EXPECT_EQ(read_file(out), precious) << "--out must be left untouched";
   std::remove(out.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// flexnet_merge --watch: a dashboard can follow a sweep while it runs.
+// Staged journal arrival stands in for concurrently-writing shards: the
+// journals are append-only, so "shard 3 has not arrived yet" at tick 1
+// and "all shards present" at tick 2 is exactly the mid-sweep state
+// sequence, without background-process flakiness.
+
+class MergeWatchCli : public ::testing::Test {
+ protected:
+  static constexpr const char* kFast = " warmup=50 measure=100";
+
+  static void SetUpTestSuite() {
+    for (int i = 1; i <= 3; ++i) {
+      const std::string journal = shard_journal(i);
+      std::remove(journal.c_str());
+      const CmdResult r = run_cmd(
+          bin("flexnet_run") + " " + shipped_suite("smoke_tiny.json") +
+          " --shard " + std::to_string(i) + "/3 --jobs 2 --checkpoint " +
+          journal + kFast);
+      ASSERT_EQ(r.exit_code, 0) << r.output;
+    }
+  }
+
+  static void TearDownTestSuite() {
+    for (int i = 1; i <= 3; ++i) {
+      std::remove(shard_journal(i).c_str());
+      std::remove((shard_journal(i) + ".hb").c_str());
+    }
+  }
+
+  static std::string shard_journal(int i) {
+    return temp_path("cli_watch_" + std::to_string(i) + ".journal");
+  }
+};
+
+TEST_F(MergeWatchCli, WatchRequiresJson) {
+  const CmdResult r = run_cmd(
+      bin("flexnet_merge") + " " + shipped_suite("smoke_tiny.json") +
+      " --out " + temp_path("cli_watch_nojson.journal") + " --watch 1 " +
+      shard_journal(1));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("--watch"), std::string::npos) << r.output;
+}
+
+TEST_F(MergeWatchCli, HonestPartialTicksThenFinalByteIdenticalToOneShot) {
+  const std::string once = temp_path("cli_watch_once.json");
+  const std::string live = temp_path("cli_watch_live.json");
+  const std::string missing = temp_path("cli_watch_missing.journal");
+  std::remove(once.c_str());
+  std::remove(live.c_str());
+  std::remove(missing.c_str());
+  const std::string inputs = shard_journal(1) + " " + shard_journal(2) +
+                             " " + missing;
+
+  // One-shot merge of the complete set: the byte-comparison baseline.
+  CmdResult r = run_cmd(bin("flexnet_merge") + " " +
+                        shipped_suite("smoke_tiny.json") + kFast +
+                        " --json " + once + " " + shard_journal(1) + " " +
+                        shard_journal(2) + " " + shard_journal(3));
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+
+  // Tick 1: shard 3's journal has not arrived. The watch must publish a
+  // parseable report whose meta.missing_jobs is honest (4 of 12 jobs
+  // live in shard 3), then give up after the tick budget with exit 1.
+  r = run_cmd(bin("flexnet_merge") + " " +
+              shipped_suite("smoke_tiny.json") + kFast + " --json " + live +
+              " --watch 0 --watch-ticks 1 " + inputs);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("watch tick 1: 8/12 jobs"), std::string::npos)
+      << r.output;
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(read_file(live), &doc, &error)) << error;
+  const JsonValue* meta = doc.find("meta");
+  ASSERT_NE(meta, nullptr);
+  const JsonValue* missing_jobs = meta->find("missing_jobs");
+  ASSERT_NE(missing_jobs, nullptr)
+      << "the partial report must say what it is missing";
+  EXPECT_EQ(missing_jobs->number_or(0.0), 4.0);
+
+  // A mid-sweep watch report must be skipped by the trajectory fold, not
+  // silently folded with its zeroed slots.
+  const std::string traj = temp_path("cli_watch_traj.json");
+  std::remove(traj.c_str());
+  r = run_cmd(bin("bench_trajectory") + " --out " + traj + " " + live);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("skipping report " + live), std::string::npos)
+      << r.output;
+
+  // Shard 3 "arrives" (the staged stand-in for its process finishing);
+  // coverage can only grow, so missing_jobs shrinks 4 -> 0 and the watch
+  // completes. The final published report must equal the one-shot merge
+  // byte for byte.
+  ASSERT_EQ(std::rename(shard_journal(3).c_str(), missing.c_str()), 0);
+  r = run_cmd(bin("flexnet_merge") + " " +
+              shipped_suite("smoke_tiny.json") + kFast + " --json " + live +
+              " --watch 0 --watch-ticks 3 " + inputs);
+  ASSERT_EQ(std::rename(missing.c_str(), shard_journal(3).c_str()), 0);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("watch tick 1: 12/12 jobs"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("complete"), std::string::npos) << r.output;
+  EXPECT_EQ(read_file(live), read_file(once))
+      << "the final watch tick must be byte-identical to a one-shot merge";
+
+  std::remove(once.c_str());
+  std::remove(live.c_str());
+  std::remove(traj.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// flexnet_orchestrate: the CLI surface (the supervision loop itself is
+// drilled in tests/test_orchestrator.cpp).
+
+TEST(FlexnetOrchestrateCli, UsageErrorsExit2) {
+  const std::string suite = shipped_suite("smoke_tiny.json");
+  EXPECT_EQ(run_cmd(bin("flexnet_orchestrate")).exit_code, 2);
+  EXPECT_EQ(run_cmd(bin("flexnet_orchestrate") + " " + suite).exit_code, 2)
+      << "--shards is required";
+  EXPECT_EQ(run_cmd(bin("flexnet_orchestrate") + " " + suite +
+                    " --shards 2").exit_code, 2)
+      << "--prefix is required";
+  EXPECT_EQ(run_cmd(bin("flexnet_orchestrate") + " " + suite +
+                    " --shards 2 --prefix x --bogus-flag").exit_code, 2);
+  EXPECT_EQ(run_cmd(bin("flexnet_orchestrate") + " " + suite +
+                    " --shards 2 --prefix x --fault-crash-after nope")
+                .exit_code, 2);
+  EXPECT_EQ(run_cmd(bin("flexnet_orchestrate") + " " + suite +
+                    " --shards 2 --prefix x warmupp=1").exit_code, 2)
+      << "the config-key typo guard must fire before any launch";
+}
+
+TEST(FlexnetOrchestrateCli, EmitCommandsPrintsDispatchableShardLines) {
+  const CmdResult r = run_cmd(
+      bin("flexnet_orchestrate") + " " + shipped_suite("smoke_tiny.json") +
+      " --shards 3 --prefix " + temp_path("cli_emit") +
+      " --jobs 2 --emit-commands warmup=50");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  for (int i = 1; i <= 3; ++i) {
+    const std::string journal =
+        temp_path("cli_emit") + "-" + std::to_string(i) + ".journal";
+    EXPECT_NE(r.output.find("--shard " + std::to_string(i) + "/3"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("--checkpoint " + journal), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("--heartbeat " + journal + ".hb"),
+              std::string::npos)
+        << r.output;
+  }
+  EXPECT_NE(r.output.find("warmup=50"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find(".journal.log"), std::string::npos)
+      << "emit mode must not create or mention local log sidecars";
+}
+
+TEST(FlexnetOrchestrateCli, FaultInjectedSweepRecoversAndMerges) {
+  // The acceptance drill at CLI level: kill shard 1 after its first
+  // completed job, watch the supervision restart it, and require the
+  // merged report to appear with full coverage.
+  const std::string prefix = temp_path("cli_orc");
+  const std::string json = temp_path("cli_orc.json");
+  for (int i = 1; i <= 2; ++i) {
+    std::remove((prefix + "-" + std::to_string(i) + ".journal").c_str());
+    std::remove((prefix + "-" + std::to_string(i) + ".journal.hb").c_str());
+    std::remove((prefix + "-" + std::to_string(i) + ".journal.log").c_str());
+  }
+  std::remove(json.c_str());
+
+  const CmdResult r = run_cmd(
+      bin("flexnet_orchestrate") + " " + shipped_suite("smoke_tiny.json") +
+      " --shards 2 --prefix " + prefix + " --json " + json +
+      " --jobs 2 --fault-crash-after 1:1 --backoff 0.05 --poll 0.02" +
+      " warmup=50 measure=100");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("died (signal 9"), std::string::npos)
+      << "the injected SIGKILL must be observed\n" << r.output;
+  EXPECT_NE(r.output.find("launched (attempt 2/"), std::string::npos)
+      << "the victim must be restarted\n" << r.output;
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(read_file(json), &doc, &error)) << error;
+  const JsonValue* meta = doc.find("meta");
+  ASSERT_NE(meta, nullptr);
+  const JsonValue* merged_shards = meta->find("merged_shards");
+  ASSERT_NE(merged_shards, nullptr);
+  EXPECT_EQ(merged_shards->number_or(0.0), 2.0);
+  EXPECT_EQ(meta->find("missing_jobs"), nullptr)
+      << "the merged report must have full coverage";
+
+  for (int i = 1; i <= 2; ++i) {
+    std::remove((prefix + "-" + std::to_string(i) + ".journal").c_str());
+    std::remove((prefix + "-" + std::to_string(i) + ".journal.hb").c_str());
+    std::remove((prefix + "-" + std::to_string(i) + ".journal.log").c_str());
+  }
+  std::remove(json.c_str());
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,317 @@
+// The heartbeat sidecar: writer/reader round trips (torn trailing lines,
+// truncate-per-session restarts, unopenable paths degrading to no-ops),
+// the SweepRunner integration that puts the sidecar next to the
+// checkpoint journal, and HeartbeatMonitor — the orchestrator's liveness
+// watcher — with an injected clock so staleness arithmetic is tested
+// without sleeping. read_heartbeat is the single reader: `flexnet_run
+// --progress` renders it and HeartbeatMonitor polls through it, so these
+// tests cover both consumers at once.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/sweep_runner.hpp"
+#include "sim/config.hpp"
+#include "sim/experiment.hpp"
+#include "telemetry/heartbeat.hpp"
+
+namespace flexnet {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+void append_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Writer/reader round trips.
+
+TEST(Heartbeat, RoundTripsProgressAndFinish) {
+  const std::string path = temp_path("hb_rt.hb");
+  {
+    HeartbeatWriter hb(path, /*min_interval=*/0.0);
+    ASSERT_TRUE(hb.ok());
+    hb.begin(/*total=*/10, /*prefilled=*/3);
+    hb.on_job(100);
+    hb.on_job(200);
+    hb.finish();
+  }
+  HeartbeatStatus status;
+  std::string error;
+  ASSERT_TRUE(read_heartbeat(path, &status, &error)) << error;
+  EXPECT_EQ(status.total, 10u);
+  EXPECT_EQ(status.prefilled, 3u);
+  EXPECT_EQ(status.done, 5u) << "prefilled jobs count as done";
+  EXPECT_EQ(status.cycles, 300);
+  EXPECT_TRUE(status.finished);
+  EXPECT_GE(status.records, 4u);  // begin + 2 jobs + final HB (+ END)
+  std::remove(path.c_str());
+}
+
+TEST(Heartbeat, TornTrailingLineIgnored) {
+  const std::string path = temp_path("hb_torn.hb");
+  {
+    HeartbeatWriter hb(path, 0.0);
+    hb.begin(4, 0);
+    hb.on_job(50);
+  }
+  // The writer died mid-append: a torn record must not hide the last
+  // intact one or fail the parse.
+  append_file(path, "HB done=99 total=4 cycl");
+  HeartbeatStatus status;
+  std::string error;
+  ASSERT_TRUE(read_heartbeat(path, &status, &error)) << error;
+  EXPECT_EQ(status.done, 1u);
+  EXPECT_FALSE(status.finished);
+  std::remove(path.c_str());
+}
+
+TEST(Heartbeat, ForeignOrMissingFileIsAnExplicitError) {
+  HeartbeatStatus status;
+  std::string error;
+  EXPECT_FALSE(read_heartbeat(temp_path("hb_missing.hb"), &status, &error));
+  EXPECT_NE(error.find("cannot read"), std::string::npos) << error;
+
+  const std::string foreign = temp_path("hb_foreign.hb");
+  append_file(foreign, "{\"meta\": \"a json report\"}\n");
+  EXPECT_FALSE(read_heartbeat(foreign, &status, &error));
+  EXPECT_NE(error.find("not a flexnet heartbeat"), std::string::npos)
+      << error;
+  std::remove(foreign.c_str());
+}
+
+TEST(Heartbeat, UnopenablePathDegradesToNoOp) {
+  HeartbeatWriter hb(temp_path("no-such-dir/x.hb"), 0.0);
+  EXPECT_FALSE(hb.ok());
+  hb.begin(5, 0);  // all no-ops, must not crash
+  hb.on_job(10);
+  hb.finish();
+}
+
+TEST(Heartbeat, NewSessionTruncatesThePreviousOne) {
+  const std::string path = temp_path("hb_trunc.hb");
+  {
+    HeartbeatWriter hb(path, 0.0);
+    hb.begin(10, 0);
+    hb.finish();
+  }
+  {
+    HeartbeatWriter hb(path, 0.0);
+    hb.begin(4, 2);  // a resume restarts the heartbeat from scratch
+    hb.finish();
+  }
+  HeartbeatStatus status;
+  std::string error;
+  ASSERT_TRUE(read_heartbeat(path, &status, &error)) << error;
+  EXPECT_EQ(status.total, 4u);
+  EXPECT_EQ(status.prefilled, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(Heartbeat, SweepRunnerWritesTheSidecarNextToTheCheckpoint) {
+  SimConfig cfg;
+  cfg.warmup = 200;
+  cfg.measure = 400;
+  cfg.load = 0.4;
+  const std::vector<ExperimentSeries> grid = {{"baseline", cfg}};
+  const std::vector<double> loads = {0.2, 0.4};
+  const int seeds = 2;
+
+  const std::string journal = temp_path("hb_sweep.journal");
+  const std::string sidecar = journal + ".hb";
+  std::remove(journal.c_str());
+  std::remove(sidecar.c_str());
+  SweepRunner runner(2);
+  runner.set_checkpoint(journal);
+  runner.run(grid, loads, seeds);
+
+  HeartbeatStatus status;
+  std::string error;
+  ASSERT_TRUE(read_heartbeat(sidecar, &status, &error)) << error;
+  EXPECT_EQ(status.total, grid.size() * loads.size() * seeds);
+  EXPECT_EQ(status.done, status.total);
+  EXPECT_TRUE(status.finished);
+  EXPECT_GT(status.cycles, 0);
+  std::remove(journal.c_str());
+  std::remove(sidecar.c_str());
+}
+
+TEST(Heartbeat, ExplicitHeartbeatPathOverridesTheSidecarDefault) {
+  SimConfig cfg;
+  cfg.warmup = 100;
+  cfg.measure = 200;
+  const std::vector<ExperimentSeries> grid = {{"baseline", cfg}};
+
+  const std::string journal = temp_path("hb_explicit.journal");
+  const std::string elsewhere = temp_path("hb_explicit_elsewhere.hb");
+  std::remove(journal.c_str());
+  std::remove((journal + ".hb").c_str());
+  std::remove(elsewhere.c_str());
+  SweepRunner runner(1);
+  runner.set_checkpoint(journal);
+  runner.set_heartbeat(elsewhere);
+  runner.run(grid, {0.2}, 1);
+
+  HeartbeatStatus status;
+  std::string error;
+  ASSERT_TRUE(read_heartbeat(elsewhere, &status, &error)) << error;
+  EXPECT_TRUE(status.finished);
+  EXPECT_FALSE(std::ifstream(journal + ".hb").good())
+      << "the default sidecar must not appear when --heartbeat overrides it";
+  std::remove(journal.c_str());
+  std::remove(elsewhere.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// HeartbeatMonitor: liveness with an injected clock — no sleeping.
+
+TEST(HeartbeatMonitor, StaleAgeGrowsWhileTheFileDoesNotAdvance) {
+  const std::string path = temp_path("hbm_stale.hb");
+  std::remove(path.c_str());
+  {
+    HeartbeatWriter hb(path, 0.0);
+    hb.begin(8, 0);
+    hb.on_job(10);
+  }
+
+  double now = 100.0;
+  HeartbeatMonitor monitor(path, [&now] { return now; });
+  monitor.poll();
+  EXPECT_TRUE(monitor.ever_read());
+  EXPECT_EQ(monitor.last().done, 1u);
+  EXPECT_DOUBLE_EQ(monitor.stale_age(), 0.0);
+
+  now = 130.0;  // nothing written since
+  monitor.poll();
+  EXPECT_DOUBLE_EQ(monitor.stale_age(), 30.0);
+
+  // A new intact record is an advance: the stale clock restarts.
+  append_file(path, "HB done=2 total=8 cycles=20 wall=1.0 "
+                    "cycles_per_sec=20 jobs_per_sec=2\n");
+  now = 140.0;
+  monitor.poll();
+  EXPECT_EQ(monitor.last().done, 2u);
+  EXPECT_DOUBLE_EQ(monitor.stale_age(), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(HeartbeatMonitor, TornBytesMidAppendStillCountAsLiveness) {
+  const std::string path = temp_path("hbm_torn.hb");
+  std::remove(path.c_str());
+  {
+    HeartbeatWriter hb(path, 0.0);
+    hb.begin(8, 0);
+    hb.on_job(10);
+  }
+
+  double now = 0.0;
+  HeartbeatMonitor monitor(path, [&now] { return now; });
+  monitor.poll();
+
+  // The writer is mid-append: the parsed status cannot change (the torn
+  // line is ignored), but the file grew — proof of life, not staleness.
+  append_file(path, "HB done=2 total=8 cyc");
+  now = 50.0;
+  monitor.poll();
+  EXPECT_EQ(monitor.last().done, 1u) << "torn line must not parse";
+  EXPECT_DOUBLE_EQ(monitor.stale_age(), 0.0)
+      << "new bytes on disk are an advance even when unparseable";
+  std::remove(path.c_str());
+}
+
+TEST(HeartbeatMonitor, SessionRestartTruncationIsAnAdvance) {
+  const std::string path = temp_path("hbm_restart.hb");
+  std::remove(path.c_str());
+  {
+    HeartbeatWriter hb(path, 0.0);
+    hb.begin(8, 0);
+    hb.on_job(10);
+    hb.on_job(20);
+    hb.on_job(30);
+  }
+
+  double now = 0.0;
+  HeartbeatMonitor monitor(path, [&now] { return now; });
+  monitor.poll();
+  EXPECT_EQ(monitor.last().done, 3u);
+
+  // The restarted shard truncates the file and begins a fresh session
+  // with the first 3 jobs prefilled from its journal. The file may be
+  // *smaller* now; the monitor must read it as an advance, not silence.
+  {
+    HeartbeatWriter hb(path, 0.0);
+    hb.begin(8, 3);
+  }
+  now = 40.0;
+  monitor.poll();
+  EXPECT_EQ(monitor.last().prefilled, 3u);
+  EXPECT_DOUBLE_EQ(monitor.stale_age(), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(HeartbeatMonitor, MissingFileGoesStaleFromConstruction) {
+  const std::string path = temp_path("hbm_missing.hb");
+  std::remove(path.c_str());
+
+  double now = 10.0;
+  HeartbeatMonitor monitor(path, [&now] { return now; });
+  monitor.poll();
+  EXPECT_FALSE(monitor.ever_read());
+
+  now = 75.0;  // the shard died before its first heartbeat
+  monitor.poll();
+  EXPECT_FALSE(monitor.ever_read());
+  EXPECT_DOUBLE_EQ(monitor.stale_age(), 65.0)
+      << "a shard that never heartbeats must still go stale";
+  std::remove(path.c_str());
+}
+
+TEST(HeartbeatMonitor, ResetForgetsHistoryAndRestartsTheClock) {
+  const std::string path = temp_path("hbm_reset.hb");
+  std::remove(path.c_str());
+  {
+    HeartbeatWriter hb(path, 0.0);
+    hb.begin(8, 0);
+    hb.on_job(10);
+  }
+
+  double now = 0.0;
+  HeartbeatMonitor monitor(path, [&now] { return now; });
+  monitor.poll();
+  ASSERT_TRUE(monitor.ever_read());
+
+  now = 90.0;
+  monitor.reset();  // the orchestrator relaunched the shard
+  EXPECT_FALSE(monitor.ever_read());
+  EXPECT_DOUBLE_EQ(monitor.stale_age(), 0.0);
+
+  // The same on-disk bytes parse again after reset: the relaunched
+  // process has not truncated yet, and re-reading them is an advance
+  // relative to the forgotten history.
+  now = 95.0;
+  monitor.poll();
+  EXPECT_TRUE(monitor.ever_read());
+  EXPECT_EQ(monitor.last().done, 1u);
+  EXPECT_DOUBLE_EQ(monitor.stale_age(), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(HeartbeatMonitor, DefaultClockIsMonotonicSeconds) {
+  const std::string path = temp_path("hbm_default_clock.hb");
+  std::remove(path.c_str());
+  HeartbeatMonitor monitor(path);  // default clock, file never appears
+  monitor.poll();
+  EXPECT_GE(monitor.stale_age(), 0.0);
+  EXPECT_LT(monitor.stale_age(), 60.0) << "stale clock must start at now";
+}
+
+}  // namespace
+}  // namespace flexnet

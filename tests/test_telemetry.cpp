@@ -2,8 +2,10 @@
 // estimates, mergeability), the deterministic counter registry (hot-path
 // invariants, union-shape merge, byte-identical aggregates across worker
 // and shard splits), the result-purity guarantee (telemetry on/off cannot
-// change a SimResult bit), the heartbeat sidecar, and the Chrome-trace
-// writer (valid JSON, spans nest per (pid, tid), per-packet spans).
+// change a SimResult bit), and the Chrome-trace writer (valid JSON, spans
+// nest per (pid, tid), per-packet spans). The heartbeat sidecar's tests
+// live in tests/test_heartbeat.cpp with the orchestrator's liveness
+// monitor.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -22,7 +24,6 @@
 #include "runner/sweep_runner.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
-#include "telemetry/heartbeat.hpp"
 #include "telemetry/histogram.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
@@ -41,10 +42,6 @@ std::string read_file(const std::string& path) {
   return buf.str();
 }
 
-void append_file(const std::string& path, const std::string& bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::app);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-}
 
 // ---------------------------------------------------------------------------
 // Log2Histogram.
@@ -345,112 +342,6 @@ TEST(TelemetryDeterminism, ShardAggregatesMergeToTheSerialAggregate) {
   backward.merge(per_shard[0]);
   EXPECT_EQ(forward.render(), serial.render());
   EXPECT_EQ(backward.render(), serial.render());
-}
-
-// ---------------------------------------------------------------------------
-// Heartbeat sidecar.
-
-TEST(Heartbeat, RoundTripsProgressAndFinish) {
-  const std::string path = temp_path("tm_hb.hb");
-  {
-    HeartbeatWriter hb(path, /*min_interval=*/0.0);
-    ASSERT_TRUE(hb.ok());
-    hb.begin(/*total=*/10, /*prefilled=*/3);
-    hb.on_job(100);
-    hb.on_job(200);
-    hb.finish();
-  }
-  HeartbeatStatus status;
-  std::string error;
-  ASSERT_TRUE(read_heartbeat(path, &status, &error)) << error;
-  EXPECT_EQ(status.total, 10u);
-  EXPECT_EQ(status.prefilled, 3u);
-  EXPECT_EQ(status.done, 5u) << "prefilled jobs count as done";
-  EXPECT_EQ(status.cycles, 300);
-  EXPECT_TRUE(status.finished);
-  EXPECT_GE(status.records, 4u);  // begin + 2 jobs + final HB (+ END)
-  std::remove(path.c_str());
-}
-
-TEST(Heartbeat, TornTrailingLineIgnored) {
-  const std::string path = temp_path("tm_hb_torn.hb");
-  {
-    HeartbeatWriter hb(path, 0.0);
-    hb.begin(4, 0);
-    hb.on_job(50);
-  }
-  // The writer died mid-append: a torn record must not hide the last
-  // intact one or fail the parse.
-  append_file(path, "HB done=99 total=4 cycl");
-  HeartbeatStatus status;
-  std::string error;
-  ASSERT_TRUE(read_heartbeat(path, &status, &error)) << error;
-  EXPECT_EQ(status.done, 1u);
-  EXPECT_FALSE(status.finished);
-  std::remove(path.c_str());
-}
-
-TEST(Heartbeat, ForeignOrMissingFileIsAnExplicitError) {
-  HeartbeatStatus status;
-  std::string error;
-  EXPECT_FALSE(read_heartbeat(temp_path("tm_hb_missing.hb"), &status,
-                              &error));
-  EXPECT_NE(error.find("cannot read"), std::string::npos) << error;
-
-  const std::string foreign = temp_path("tm_hb_foreign.hb");
-  append_file(foreign, "{\"meta\": \"a json report\"}\n");
-  EXPECT_FALSE(read_heartbeat(foreign, &status, &error));
-  EXPECT_NE(error.find("not a flexnet heartbeat"), std::string::npos)
-      << error;
-  std::remove(foreign.c_str());
-}
-
-TEST(Heartbeat, UnopenablePathDegradesToNoOp) {
-  HeartbeatWriter hb(temp_path("no-such-dir/x.hb"), 0.0);
-  EXPECT_FALSE(hb.ok());
-  hb.begin(5, 0);  // all no-ops, must not crash
-  hb.on_job(10);
-  hb.finish();
-}
-
-TEST(Heartbeat, NewSessionTruncatesThePreviousOne) {
-  const std::string path = temp_path("tm_hb_trunc.hb");
-  {
-    HeartbeatWriter hb(path, 0.0);
-    hb.begin(10, 0);
-    hb.finish();
-  }
-  {
-    HeartbeatWriter hb(path, 0.0);
-    hb.begin(4, 2);  // a resume restarts the heartbeat from scratch
-    hb.finish();
-  }
-  HeartbeatStatus status;
-  std::string error;
-  ASSERT_TRUE(read_heartbeat(path, &status, &error)) << error;
-  EXPECT_EQ(status.total, 4u);
-  EXPECT_EQ(status.prefilled, 2u);
-  std::remove(path.c_str());
-}
-
-TEST(Heartbeat, SweepRunnerWritesTheSidecarNextToTheCheckpoint) {
-  const std::string journal = temp_path("tm_hb_sweep.journal");
-  const std::string sidecar = journal + ".hb";
-  std::remove(journal.c_str());
-  std::remove(sidecar.c_str());
-  SweepRunner runner(2);
-  runner.set_checkpoint(journal);
-  runner.run(mixed_grid(), kLoads, kSeeds);
-
-  HeartbeatStatus status;
-  std::string error;
-  ASSERT_TRUE(read_heartbeat(sidecar, &status, &error)) << error;
-  EXPECT_EQ(status.total, mixed_grid().size() * kLoads.size() * kSeeds);
-  EXPECT_EQ(status.done, status.total);
-  EXPECT_TRUE(status.finished);
-  EXPECT_GT(status.cycles, 0);
-  std::remove(journal.c_str());
-  std::remove(sidecar.c_str());
 }
 
 // ---------------------------------------------------------------------------

@@ -3,6 +3,7 @@
 // into one journal and the standard JSON sweep report.
 //
 //   flexnet_merge SUITE.json [--out MERGED.journal] [--json REPORT.json]
+//                 [--watch SECS [--watch-ticks N]]
 //                 [key=value ...] SHARD.journal...
 //
 // The suite (plus any trailing key=value overrides, which must match the
@@ -16,24 +17,37 @@
 // reduction the runner uses, so a merge of a complete shard set emits a
 // report bit-identical to a single-process run of the suite.
 //
-// Missing jobs (a shard that never ran or crashed early) are a warning,
-// not an error: the merged journal can seed a `--checkpoint` resume of
-// just the missing shard, and a re-merge then completes the report.
+// One-shot mode: missing jobs (a shard that never ran or crashed early)
+// are a warning, not an error — the merged journal can seed a
+// `--checkpoint` resume of just the missing shard, and a re-merge then
+// completes the report.
+//
+// Watch mode (--watch SECS): the shard journals are re-scanned every SECS
+// seconds while the shards are still running, and the --json report is
+// re-published after every tick via an atomic rename — so a dashboard can
+// render the grid while it fills in, always reading a complete document
+// whose meta.missing_jobs is honest for that tick. Journals that do not
+// exist or have no parseable header yet are skipped for the tick (the
+// shard has not started); merged coverage only ever grows (journals are
+// append-only), so missing_jobs shrinks monotonically. The watch ends
+// when coverage is complete — the final tick's report is byte-identical
+// to a one-shot merge — or after --watch-ticks re-scans (exit 1, report
+// left at the last partial state). --out is written only on completion.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cli_util.hpp"
 #include "common/log.hpp"
 #include "common/options.hpp"
 #include "runner/checkpoint.hpp"
-#include "runner/json_report.hpp"
-#include "runner/sweep_runner.hpp"
+#include "runner/exit_codes.hpp"
+#include "runner/merge.hpp"
 #include "scenario/suite.hpp"
-#include "sim/config.hpp"
-#include "sim/experiment.hpp"
 
 namespace {
 
@@ -43,15 +57,23 @@ int usage(const char* argv0, std::FILE* out = stderr, int code = 2) {
   std::fprintf(
       out,
       "usage: %s SUITE.json [--out MERGED.journal] [--json REPORT.json]\n"
+      "       %*s [--watch SECS [--watch-ticks N]]\n"
       "       %*s [key=value ...] SHARD.journal...\n"
       "\n"
       "Merges the --checkpoint journals of sharded flexnet_run processes\n"
       "(--shard i/N) into one journal and the standard sweep report.\n"
-      "  --out PATH    write the merged journal to PATH\n"
-      "  --json PATH   write the aggregated JSON sweep report to PATH\n"
-      "  key=value     config overrides — must match the shard runs'\n"
-      "At least one of --out / --json is required.\n",
-      argv0, static_cast<int>(std::strlen(argv0)), "");
+      "  --out PATH      write the merged journal to PATH\n"
+      "  --json PATH     write the aggregated JSON sweep report to PATH\n"
+      "  --watch SECS    keep re-scanning the journals every SECS seconds,\n"
+      "                  republishing --json atomically after each tick\n"
+      "                  (meta.missing_jobs reports the tick's coverage),\n"
+      "                  until every job is merged; then write --out\n"
+      "  --watch-ticks N give up after N re-scans (exit 1, last partial\n"
+      "                  report left in place); 0 = watch until complete\n"
+      "  key=value       config overrides — must match the shard runs'\n"
+      "At least one of --out / --json is required; --watch requires --json.\n",
+      argv0, static_cast<int>(std::strlen(argv0)), "",
+      static_cast<int>(std::strlen(argv0)), "");
   return code;
 }
 
@@ -61,6 +83,8 @@ int main(int argc, char** argv) {
   std::string suite_path;
   std::string out_path;
   std::string json_path;
+  double watch_interval = -1.0;
+  long watch_ticks = 0;
   std::vector<std::string> journal_paths;
   std::vector<const char*> overrides{argv[0]};
 
@@ -76,6 +100,20 @@ int main(int argc, char** argv) {
       out_path = value;
     } else if (flag_value("json", &value)) {
       json_path = value;
+    } else if (flag_value("watch", &value)) {
+      watch_interval = std::atof(value.c_str());
+      if (watch_interval < 0.0) {
+        std::fprintf(stderr, "error: --watch needs a non-negative interval "
+                             "in seconds, got '%s'\n",
+                     value.c_str());
+        return usage(argv[0]);
+      }
+    } else if (flag_value("watch-ticks", &value)) {
+      watch_ticks = std::atol(value.c_str());
+      if (watch_ticks < 0) {
+        std::fprintf(stderr, "error: --watch-ticks must be >= 0\n");
+        return usage(argv[0]);
+      }
     } else if (tok.rfind("--", 0) == 0) {
       std::fprintf(stderr, "error: unknown flag '%s'\n", tok.c_str());
       return usage(argv[0]);
@@ -106,6 +144,12 @@ int main(int argc, char** argv) {
                  "error: nothing to do — pass --out and/or --json\n");
     return usage(argv[0]);
   }
+  const bool watch = watch_interval >= 0.0;
+  if (watch && json_path.empty()) {
+    std::fprintf(stderr, "error: --watch republishes --json each tick — "
+                         "pass --json\n");
+    return usage(argv[0]);
+  }
 
   // --out must be a fresh path, checked before any file is opened or
   // parsed: an existing file there could be a shard journal the user also
@@ -123,94 +167,53 @@ int main(int argc, char** argv) {
     const Options cli = Options::parse(static_cast<int>(overrides.size()),
                                        overrides.data());
     const MaterializedSuite suite = materialize_for_run(suite_path, &cli);
-    const std::size_t num_points =
-        suite.grid.size() * suite.spec.loads.size();
 
-    // Read every shard journal (read-only, torn tails tolerated) and
-    // check it against the grid this suite + overrides materializes to.
-    std::vector<ShardJournal> shards;
-    shards.reserve(journal_paths.size());
-    for (const std::string& path : journal_paths) {
-      ShardJournal shard{path, read_journal(path)};
-      if (shard.contents.fingerprint != suite.fingerprint ||
-          shard.contents.points != num_points ||
-          shard.contents.seeds != suite.seeds) {
-        std::fprintf(
-            stderr,
-            "error: shard journal %s does not match this sweep grid — it "
-            "was written for a different suite, config, load grid, seed "
-            "count, or overrides\n",
-            path.c_str());
+    if (!watch) {
+      MergeOutputs outputs;
+      outputs.out_journal = out_path;
+      outputs.json_path = json_path;
+      merge_suite_journals(suite, suite_path, journal_paths, outputs);
+      return 0;
+    }
+
+    // Watch mode: quiet partial ticks with atomic publishes, then the
+    // full verbose merge (tables, --out journal) once coverage completes.
+    long tick = 0;
+    for (;;) {
+      ++tick;
+      MergeOutputs outputs;
+      outputs.json_path = json_path;
+      outputs.atomic_json = true;
+      outputs.tolerate_unreadable_inputs = true;
+      outputs.verbose = false;
+      const MergeSummary s =
+          merge_suite_journals(suite, suite_path, journal_paths, outputs);
+      std::fprintf(stderr,
+                   "watch tick %ld: %zu/%zu jobs merged from %zu journal(s)"
+                   "%s%s\n",
+                   tick, s.merged_records, s.total_jobs, s.inputs_read,
+                   s.inputs_skipped > 0 ? ", some not readable yet" : "",
+                   s.complete() ? " — complete" : "");
+      if (s.complete()) break;
+      if (watch_ticks > 0 && tick >= watch_ticks) {
+        std::fprintf(stderr,
+                     "watch ended after %ld tick(s) with %zu job(s) still "
+                     "missing; the last partial report is in %s\n",
+                     tick, s.missing_jobs, json_path.c_str());
         return 1;
       }
-      shards.push_back(std::move(shard));
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(watch_interval));
     }
 
-    const std::vector<CheckpointRecord> records = merge_journals(shards);
-
-    // Coverage report: missing jobs are a warning (re-run the missing
-    // shard with --checkpoint, then re-merge), not silent zeros.
-    const std::size_t total_jobs =
-        num_points * static_cast<std::size_t>(suite.seeds);
-    const std::size_t missing = total_jobs - records.size();
-    if (missing > 0) {
-      log_warn("merged journals cover " + std::to_string(records.size()) +
-               " of " + std::to_string(total_jobs) + " jobs (" +
-               std::to_string(missing) +
-               " missing) — the report below is partial; re-run the "
-               "missing shard(s) and merge again");
-    }
-
-    if (!out_path.empty()) {
-      CheckpointJournal merged(out_path);
-      merged.open(suite.fingerprint, num_points, suite.seeds);
-      for (const CheckpointRecord& rec : records)
-        merged.append(rec.point, rec.seed, rec.result);
-      merged.close();
-      if (merged.failed()) {
-        std::fprintf(stderr, "error: could not write merged journal %s\n",
-                     out_path.c_str());
-        return 1;
-      }
-      std::fprintf(stderr, "merged journal written to %s (%zu records)\n",
-                   out_path.c_str(), records.size());
-    }
-
-    if (!json_path.empty()) {
-      // The runner's aggregation path: one slot per (point, seed), filled
-      // from the merged records, reduced by the runner's own grid-order
-      // reduction — identical to SweepRunner::run on the same grid.
-      std::vector<std::vector<SimResult>> per_seed(
-          num_points,
-          std::vector<SimResult>(static_cast<std::size_t>(suite.seeds)));
-      for (const CheckpointRecord& rec : records)
-        per_seed[rec.point][static_cast<std::size_t>(rec.seed)] = rec.result;
-      const std::vector<SweepResult> sweeps = SweepRunner::reduce_slots(
-          suite.grid, suite.spec.loads, per_seed);
-
-      print_sweep_table(suite.spec.title, sweeps);
-      print_throughput_summary(suite.spec.title, sweeps);
-
-      JsonReport report;
-      report.set_meta("suite", suite_path);
-      report.set_meta("title", suite.spec.title);
-      if (!suite.spec.description.empty())
-        report.set_meta("description", suite.spec.description);
-      report.set_meta("config", suite.grid.front().config.summary());
-      report.set_meta("seeds", static_cast<std::int64_t>(suite.seeds));
-      report.set_meta("merged_shards",
-                      static_cast<std::int64_t>(shards.size()));
-      if (missing > 0)
-        report.set_meta("missing_jobs",
-                        static_cast<std::int64_t>(missing));
-      report.add_sweep(suite.spec.title, sweeps, 0.0);
-      if (!report.write_file(json_path)) {
-        std::fprintf(stderr, "error: could not write JSON report to %s\n",
-                     json_path.c_str());
-        return 1;
-      }
-      std::fprintf(stderr, "JSON report written to %s\n", json_path.c_str());
-    }
+    MergeOutputs final_outputs;
+    final_outputs.out_journal = out_path;
+    final_outputs.json_path = json_path;
+    final_outputs.atomic_json = true;
+    merge_suite_journals(suite, suite_path, journal_paths, final_outputs);
+  } catch (const CheckpointIoError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return exit_code::kIo;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

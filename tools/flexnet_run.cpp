@@ -2,10 +2,22 @@
 // scenario/suite.hpp) through the parallel sweep runner.
 //
 //   flexnet_run SUITE.json [--jobs N] [--json PATH] [--checkpoint PATH]
-//               [--shard i/N] [--counters PATH] [--trace-out PATH]
-//               [--trace-packets] [key=value ...]
+//               [--shard i/N] [--heartbeat PATH] [--counters PATH]
+//               [--trace-out PATH] [--trace-packets] [key=value ...]
 //   flexnet_run --list
 //   flexnet_run --progress FILE.hb
+//
+// Exit codes (runner/exit_codes.hpp — the orchestrator's retry policy
+// keys off them):
+//   0  sweep completed, all outputs written
+//   1  unclassified error (worth a retry)
+//   2  permanent: usage, unknown flag/key, suite or config errors, a
+//      checkpoint journal for a different grid — retrying repeats it
+//   3  sweep completed and every aggregated row deadlocked (outputs are
+//      written; a sharded run reports only its own rows, and foreign
+//      slots aggregate as survivors, so sharded runs rarely exit 3)
+//   4  I/O failure writing an output (journal, report, counters, trace)
+//      — the sweep itself ran; a retry on healthy storage can resume
 //
 // The base configuration is the bench default (Table V at the FLEXNET_SCALE
 // system, FLEXNET_SEEDS seeds) so a suite file reproduces the corresponding
@@ -33,6 +45,7 @@
 #include "common/log.hpp"
 #include "common/options.hpp"
 #include "runner/checkpoint.hpp"
+#include "runner/exit_codes.hpp"
 #include "runner/json_report.hpp"
 #include "runner/shard.hpp"
 #include "runner/sweep_runner.hpp"
@@ -53,8 +66,8 @@ int usage(const char* argv0, std::FILE* out = stderr, int code = 2) {
   std::fprintf(
       out,
       "usage: %s SUITE.json [--jobs N] [--json PATH] [--checkpoint PATH]\n"
-      "       %*s [--shard i/N] [--counters PATH] [--trace-out PATH]\n"
-      "       %*s [--trace-packets] [key=value ...]\n"
+      "       %*s [--shard i/N] [--heartbeat PATH] [--counters PATH]\n"
+      "       %*s [--trace-out PATH] [--trace-packets] [key=value ...]\n"
       "       %s --list\n"
       "       %s --progress FILE.hb\n"
       "\n"
@@ -65,6 +78,8 @@ int usage(const char* argv0, std::FILE* out = stderr, int code = 2) {
       "  --checkpoint PATH journal completed jobs to PATH and resume from it\n"
       "  --shard i/N       run only the i-th of N disjoint job subsets\n"
       "                    (1-based); merge the journals with flexnet_merge\n"
+      "  --heartbeat PATH  append liveness records to PATH instead of the\n"
+      "                    default <checkpoint>.hb sidecar\n"
       "  --counters PATH   aggregate telemetry counters over every job and\n"
       "                    write the snapshot to PATH ('-' for stdout)\n"
       "  --trace-out PATH  write a Chrome-trace/Perfetto JSON of the run\n"
@@ -72,7 +87,10 @@ int usage(const char* argv0, std::FILE* out = stderr, int code = 2) {
       "  --progress FILE   render a heartbeat sidecar (<checkpoint>.hb)\n"
       "                    and exit\n"
       "  --list            print every registered component and exit\n"
-      "  key=value         config overrides applied after the suite's base\n",
+      "  key=value         config overrides applied after the suite's base\n"
+      "exit codes: 0 ok; 1 transient error; 2 usage/suite/config errors\n"
+      "(permanent); 3 completed with every row deadlocked; 4 output I/O\n"
+      "failure (sweep ran; journal resumes on healthy storage)\n",
       argv0, static_cast<int>(std::strlen(argv0)), "",
       static_cast<int>(std::strlen(argv0)), "", argv0, argv0);
   return code;
@@ -123,6 +141,8 @@ int main(int argc, char** argv) {
   std::string counters_path;
   std::string trace_path;
   std::string progress_path;
+  std::string heartbeat_path;
+  bool heartbeat_set = false;
   bool trace_packets = false;
   ShardSpec shard;
   int jobs = ThreadPool::default_jobs();
@@ -155,6 +175,9 @@ int main(int argc, char** argv) {
       checkpoint_path = value;
     } else if (flag_value("shard", &value)) {
       parse_shard_or_die(value);
+    } else if (flag_value("heartbeat", &value)) {
+      heartbeat_path = value;
+      heartbeat_set = true;
     } else if (flag_value("counters", &value)) {
       counters_path = value;
     } else if (flag_value("trace-out", &value)) {
@@ -178,6 +201,9 @@ int main(int argc, char** argv) {
         checkpoint_path = value;
       } else if (key == "shard") {
         parse_shard_or_die(value);
+      } else if (key == "heartbeat") {
+        heartbeat_path = value;
+        heartbeat_set = true;
       } else {
         if (cli::reject_unknown_config_key(key)) return 2;
         overrides.push_back(argv[i]);
@@ -232,16 +258,22 @@ int main(int argc, char** argv) {
     }
 
     TraceWriter trace(trace_path);  // empty path: inert writer
-    if (!trace_path.empty() && !trace.ok()) return 1;  // warning logged
+    if (!trace_path.empty() && !trace.ok())
+      return exit_code::kIo;  // warning logged
     TelemetryCounters counters;
 
-    if (!checkpoint_path.empty())
-      std::fprintf(stderr, "  heartbeat: %s.hb (watch with %s --progress)\n",
-                   checkpoint_path.c_str(), argv[0]);
+    const std::string hb_announce =
+        heartbeat_set ? heartbeat_path
+        : checkpoint_path.empty() ? std::string()
+                                  : checkpoint_path + ".hb";
+    if (!hb_announce.empty())
+      std::fprintf(stderr, "  heartbeat: %s (watch with %s --progress)\n",
+                   hb_announce.c_str(), argv[0]);
     const auto t0 = std::chrono::steady_clock::now();
     SweepRunner runner(jobs);
     runner.set_checkpoint(checkpoint_path);
     runner.set_shard(shard);
+    if (heartbeat_set) runner.set_heartbeat(heartbeat_path);
     if (!trace_path.empty()) runner.set_trace(&trace, trace_packets);
     if (!counters_path.empty()) runner.set_telemetry(&counters);
     std::vector<SweepResult> sweeps;
@@ -280,7 +312,7 @@ int main(int argc, char** argv) {
         if (f != nullptr) std::fclose(f);
         if (!ok) {
           log_error("could not write telemetry counters to " + counters_path);
-          return 1;
+          return exit_code::kIo;
         }
         std::fprintf(stderr, "telemetry counters written to %s\n",
                      counters_path.c_str());
@@ -306,13 +338,49 @@ int main(int argc, char** argv) {
       if (!report.write_file(json_path)) {
         std::fprintf(stderr, "error: could not write JSON report to %s\n",
                      json_path.c_str());
-        return 1;
+        return exit_code::kIo;
       }
       std::fprintf(stderr, "JSON report written to %s\n", json_path.c_str());
     }
+
+    // Deadlock-only exit: every output above is already written (the rows
+    // are real results — all-deadlocked is a property of the config, not
+    // a failure of the run), but an orchestrator or script sweeping a
+    // parameter space wants the distinction without parsing tables.
+    std::size_t rows_seen = 0;
+    bool all_deadlocked = true;
+    for (const SweepResult& sweep : sweeps)
+      for (const SweepRow& row : sweep.rows) {
+        ++rows_seen;
+        all_deadlocked = all_deadlocked && row.result.deadlock;
+      }
+    if (rows_seen > 0 && all_deadlocked) {
+      std::fprintf(stderr,
+                   "note: every aggregated row deadlocked — exiting %d "
+                   "(results above are written and mergeable)\n",
+                   exit_code::kDeadlockOnly);
+      return exit_code::kDeadlockOnly;
+    }
+  } catch (const CheckpointIoError& e) {
+    // Transient: the journal (or its filesystem) failed mid-write. The
+    // surviving records are intact — rerunning resumes from them.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return exit_code::kIo;
+  } catch (const CheckpointError& e) {
+    // Permanent: a journal for a different grid / corrupted beyond the
+    // torn-tail rule. Retrying with the same command repeats it.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return exit_code::kConfig;
+  } catch (const SuiteError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return exit_code::kConfig;
+  } catch (const std::invalid_argument& e) {
+    // Config/override/registry errors — permanent for the same reason.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return exit_code::kConfig;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return exit_code::kFailure;
   }
   return 0;
 }
