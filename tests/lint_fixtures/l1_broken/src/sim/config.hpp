@@ -1,0 +1,24 @@
+// Lint fixture (L1, violating): `mystery_knob` is declared on the struct
+// but wired into neither the apply()/known_keys() key table nor
+// canonical() — the exact drift rule L1 exists to catch.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flexnet {
+
+struct Options;
+
+struct SimConfig {
+  std::string topology = "dragonfly";
+  int speedup = 2;
+  double load = 0.5;
+  int mystery_knob = 7;
+
+  void apply(const Options& opts);
+  static const std::vector<std::string>& known_keys();
+  std::string canonical() const;
+};
+
+}  // namespace flexnet

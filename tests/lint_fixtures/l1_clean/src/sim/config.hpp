@@ -1,0 +1,23 @@
+// Lint fixture (L1, clean): every field is wired into the key table and
+// canonical() together.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flexnet {
+
+struct Options;
+
+struct SimConfig {
+  std::string topology = "dragonfly";
+  int speedup = 2;
+  double load = 0.5;
+  int mystery_knob = 7;
+
+  void apply(const Options& opts);
+  static const std::vector<std::string>& known_keys();
+  std::string canonical() const;
+};
+
+}  // namespace flexnet

@@ -1,0 +1,17 @@
+// Lint fixture (L2, violating): `jitter` is a SimResult field that the
+// journal writer/reader and result_bits_equal never mirror.
+#pragma once
+
+#include <cstdint>
+
+namespace flexnet {
+
+struct SimResult {
+  double offered = 0.0;
+  double accepted = 0.0;
+  std::int64_t consumed_packets = 0;
+  bool deadlock = false;
+  double jitter = 0.0;
+};
+
+}  // namespace flexnet

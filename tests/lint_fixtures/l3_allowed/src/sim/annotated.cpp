@@ -1,0 +1,18 @@
+// Lint fixture (escape hatch): both banned patterns carry a justified
+// allow(L3) — one trailing the statement, one on the line above — so this
+// tree must lint clean with two suppressions.
+#include <unordered_map>
+
+namespace flexnet {
+
+// Route cache: keyed lookups only — never iterated, so unordered order
+// cannot leak into results.
+// flexnet-lint: allow(L3)
+std::unordered_map<int, int> route_cache;
+
+int lookup(int key) {
+  const auto it = route_cache.find(key);  // flexnet-lint: allow(L3)
+  return it == route_cache.end() ? -1 : it->second;
+}
+
+}  // namespace flexnet

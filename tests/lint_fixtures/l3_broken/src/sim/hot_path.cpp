@@ -1,0 +1,29 @@
+// Lint fixture (L3, violating): four distinct nondeterminism bans in one
+// hot-path TU — unordered-container iteration, libc rand(), a wall-clock
+// read, and a pointer-keyed ordered map.
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <unordered_map>
+
+namespace flexnet {
+
+struct Packet {
+  int id = 0;
+};
+
+int sum_buffered(const std::unordered_map<int, int>& per_router) {
+  int sum = 0;
+  for (const auto& kv : per_router) sum += kv.second;
+  return sum;
+}
+
+int pick_vc(int vcs) { return std::rand() % vcs; }
+
+long stamp_now() { return static_cast<long>(time(nullptr)); }
+
+int count_live(const std::map<Packet*, int>& by_packet) {
+  return static_cast<int>(by_packet.size());
+}
+
+}  // namespace flexnet

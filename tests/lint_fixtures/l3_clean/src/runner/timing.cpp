@@ -1,0 +1,13 @@
+// Lint fixture (L3, clean): wall-clock reads are allowed in src/runner/
+// — wall time is operational (progress, backoff), never simulation state.
+#include <chrono>
+
+namespace flexnet {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace flexnet

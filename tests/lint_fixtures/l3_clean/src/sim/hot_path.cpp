@@ -1,0 +1,27 @@
+// Lint fixture (L3, clean): deterministic hot-path idiom — flat vectors,
+// id-keyed ordered containers, cycle counters instead of wall time.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace flexnet {
+
+using Cycle = std::int64_t;
+
+int sum_buffered(const std::vector<int>& per_router) {
+  int sum = 0;
+  for (const int n : per_router) sum += n;
+  return sum;
+}
+
+int pick_vc(std::uint64_t rng_draw, int vcs) {
+  return static_cast<int>(rng_draw % static_cast<std::uint64_t>(vcs));
+}
+
+Cycle stamp_now(Cycle now) { return now; }
+
+int count_live(const std::map<std::int32_t, int>& by_packet_id) {
+  return static_cast<int>(by_packet_id.size());
+}
+
+}  // namespace flexnet

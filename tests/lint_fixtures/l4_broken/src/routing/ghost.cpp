@@ -1,0 +1,15 @@
+// Lint fixture (L4, violating): a routing component with no
+// FLEXNET_REGISTER_ROUTING block — unreachable from suites and --list.
+namespace flexnet {
+
+class RoutingAlgorithm {
+ public:
+  virtual ~RoutingAlgorithm() = default;
+};
+
+class GhostRouting final : public RoutingAlgorithm {
+ public:
+  int hops = 0;
+};
+
+}  // namespace flexnet

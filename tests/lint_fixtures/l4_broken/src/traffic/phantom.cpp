@@ -1,0 +1,8 @@
+// Lint fixture (L4, violating): a registered name no shipped suite or
+// test ever exercises.
+#define FLEXNET_REGISTER_TRAFFIC(...)
+
+FLEXNET_REGISTER_TRAFFIC({
+    "phantom_traffic",
+    "registered but exercised nowhere",
+    nullptr})

@@ -1,0 +1,22 @@
+// Lint fixture (L4, clean): the component TU registers itself and the
+// registered name is exercised by a test in this tree.
+#define FLEXNET_REGISTER_ROUTING(...)
+
+namespace flexnet {
+
+class RoutingAlgorithm {
+ public:
+  virtual ~RoutingAlgorithm() = default;
+};
+
+class SteadyRouting final : public RoutingAlgorithm {
+ public:
+  int hops = 0;
+};
+
+}  // namespace flexnet
+
+FLEXNET_REGISTER_ROUTING({
+    "steady",
+    "registered and exercised by tests/use.cpp",
+    nullptr})

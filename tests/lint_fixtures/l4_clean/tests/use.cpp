@@ -1,0 +1,7 @@
+// Lint fixture (L4, clean): exercises the registered name so the
+// dead-registration check passes.
+namespace flexnet_fixture {
+
+const char* kExercisedRouting = "steady";
+
+}  // namespace flexnet_fixture

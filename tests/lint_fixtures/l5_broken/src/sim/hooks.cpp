@@ -1,0 +1,29 @@
+// Lint fixture (L5, violating): telemetry hooks that touch simulation
+// state — an increment, a plain assignment, and a non-const reference.
+#define FLEXNET_TELEM(...) \
+  do {                     \
+    __VA_ARGS__;           \
+  } while (0)
+
+namespace flexnet {
+
+struct Telem {
+  bool enabled() const { return true; }
+  void on_grant(int r) { (void)r; }
+  void drain(long& sink) { sink = 0; }
+};
+
+struct Router {
+  Telem telem_;
+  long total_grants_ = 0;
+  long stalls_ = 0;
+
+  void grant(int r) {
+    FLEXNET_TELEM(if (telem_.enabled()) { total_grants_++; });
+    FLEXNET_TELEM(stalls_ = stalls_ + 1);
+    FLEXNET_TELEM(telem_.drain(total_grants_); long& s = stalls_);
+    telem_.on_grant(r);
+  }
+};
+
+}  // namespace flexnet

@@ -1,0 +1,36 @@
+// Lint fixture (L5, clean): read-only hook idiom — guard branch, const
+// reference snapshot, updates flow only into the telemetry object.
+#define FLEXNET_TELEM(...) \
+  do {                     \
+    __VA_ARGS__;           \
+  } while (0)
+
+namespace flexnet {
+
+struct Ledger {
+  int occupied(int vc) const { return vc; }
+};
+
+struct Telem {
+  bool enabled() const { return true; }
+  void on_grant(int r) { (void)r; }
+  void on_send(int li, int occ) {
+    (void)li;
+    (void)occ;
+  }
+};
+
+struct Router {
+  Telem telem_;
+  Ledger ledger_;
+
+  void grant(int r) {
+    FLEXNET_TELEM(if (telem_.enabled()) telem_.on_grant(r));
+    FLEXNET_TELEM(if (telem_.enabled()) {
+      const Ledger& lg = ledger_;
+      telem_.on_send(r, lg.occupied(r) == 0 ? 0 : 1);
+    });
+  }
+};
+
+}  // namespace flexnet

@@ -4,9 +4,11 @@
 // policy keys off), flexnet_merge's --out safety and --watch mode
 // (honest partial reports, monotonically shrinking missing_jobs, final
 // tick byte-identical to a one-shot merge), flexnet_orchestrate's
-// --emit-commands and fault-injected supervision, and bench_trajectory's
+// --emit-commands and fault-injected supervision, bench_trajectory's
 // skip of empty/half-written/partial reports — the regression a crashed
-// shard (or a mid-sweep --watch report) used to cause in the fold.
+// shard (or a mid-sweep --watch report) used to cause in the fold — and
+// flexnet_lint's default-root and usage contract (the rule corpus itself
+// is drilled in tests/test_lint.cpp).
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
@@ -537,6 +539,38 @@ TEST(BenchTrajectoryCli, AllInputsSkippedIsAnErrorAndOutIsLeftUntouched) {
   EXPECT_EQ(read_file(out), precious) << "--out must be left unchanged";
   std::remove(out.c_str());
   std::remove(empty.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// flexnet_lint: the CLI surface. With no --root it checks the checkout it
+// was built from (FLEXNET_SOURCE_DIR), which must hold every invariant —
+// this is the same gate CI's static-analysis job runs.
+
+TEST(FlexnetLintCli, DefaultRootIsTheShippedTreeAndItPasses) {
+  const CmdResult r = run_cmd(bin("flexnet_lint"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 violation(s)"), std::string::npos) << r.output;
+}
+
+TEST(FlexnetLintCli, UsageErrorsExit2) {
+  EXPECT_EQ(run_cmd(bin("flexnet_lint") + " --rules").exit_code, 2);
+  EXPECT_EQ(run_cmd(bin("flexnet_lint") + " --rules L7").exit_code, 2);
+  EXPECT_EQ(run_cmd(bin("flexnet_lint") + " --root").exit_code, 2);
+  EXPECT_EQ(run_cmd(bin("flexnet_lint") + " stray-positional").exit_code, 2);
+}
+
+TEST(FlexnetLintCli, JsonReportIsWrittenAndParses) {
+  const std::string report = temp_path("cli_lint.json");
+  std::remove(report.c_str());
+  const CmdResult r =
+      run_cmd(bin("flexnet_lint") + " --quiet --json " + report);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(read_file(report), &doc, &error)) << error;
+  EXPECT_EQ(doc.find("tool")->string_or(""), "flexnet_lint");
+  EXPECT_GT(doc.find("files_scanned")->number_or(0.0), 0.0);
+  std::remove(report.c_str());
 }
 
 }  // namespace

@@ -30,6 +30,26 @@
 #define FLEXNET_BIN_DIR "."
 #endif
 
+// Sanitizer instrumentation slows the child flexnet_run processes ~10x,
+// so a healthy shard can miss a tight stale window between heartbeats
+// (HeartbeatWriter throttles to one record per second). Widen the
+// staleness threshold accordingly; the SIGSTOPped shard is still killed
+// at any threshold because its heartbeat never advances at all.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define FLEXNET_UNDER_SANITIZER 1
+#endif
+#endif
+#if !defined(FLEXNET_UNDER_SANITIZER) && \
+    (defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__))
+#define FLEXNET_UNDER_SANITIZER 1
+#endif
+#ifdef FLEXNET_UNDER_SANITIZER
+constexpr double kStaleTimeoutS = 10.0;
+#else
+constexpr double kStaleTimeoutS = 1.0;
+#endif
+
 namespace flexnet {
 namespace {
 
@@ -477,7 +497,7 @@ TEST_F(OrchestratorBattery, SigstoppedShardIsKilledForStalenessAndRecovers) {
 
   StallingLauncher launcher(/*target_shard=*/0);
   OrchestratorOptions opt = battery_options();
-  opt.stale_timeout_s = 1.0;
+  opt.stale_timeout_s = kStaleTimeoutS;
   Orchestrator orchestrator(commands, opt, &launcher);
   const OrchestratorReport report = orchestrator.run();
 

@@ -84,13 +84,16 @@ TEST_P(PolicyProperties, CandidateInvariants) {
       for (std::size_t i = 0; i < cands.size(); ++i) {
         const VcCandidate& cand = cands[i];
         // (1) Ascending template positions, correct link type, class rule.
-        if (i > 0) EXPECT_LT(cands[i - 1].position, cand.position) << s.tag;
+        if (i > 0) {
+          EXPECT_LT(cands[i - 1].position, cand.position) << s.tag;
+        }
         const VcRef& vc = tmpl.at(cand.position);
         EXPECT_EQ(vc.type, arr.typed ? s.ctx.hop_type : kL) << s.tag;
-        if (cls == MsgClass::kRequest)
+        if (cls == MsgClass::kRequest) {
           EXPECT_EQ(static_cast<int>(vc.cls),
                     static_cast<int>(MsgClass::kRequest))
               << s.tag;
+        }
         // (2) Per-type floor respected.
         EXPECT_GE(cand.position, type_floor) << s.tag;
         // (3) Escape invariant: the minimal continuation embeds safely from

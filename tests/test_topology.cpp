@@ -99,8 +99,9 @@ TEST(Dragonfly, MinDistanceBoundsBfs) {
       const int lgl = topo.min_distance(from, to);
       EXPECT_GE(lgl, dist[static_cast<std::size_t>(to)]) << from << "->" << to;
       EXPECT_LE(lgl, topo.diameter());
-      if (topo.group_of(from) == topo.group_of(to))
+      if (topo.group_of(from) == topo.group_of(to)) {
         EXPECT_EQ(lgl, dist[static_cast<std::size_t>(to)]);
+      }
     }
   }
 }

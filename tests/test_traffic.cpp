@@ -112,8 +112,9 @@ TEST(OnOffProcess, BackToBackWithinBurst) {
   int last_fire = -1;
   for (int i = 0; i < 5000; ++i) {
     if (proc.step(rng)) {
-      if (last_fire >= 0 && !proc.new_burst())
+      if (last_fire >= 0 && !proc.new_burst()) {
         EXPECT_EQ(i - last_fire, 4);
+      }
       last_fire = i;
     }
   }
