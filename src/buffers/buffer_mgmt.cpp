@@ -1,0 +1,34 @@
+#include "buffers/buffer_mgmt.hpp"
+
+#include "scenario/registry.hpp"
+
+namespace flexnet {
+
+BufferMgmt parse_buffer_mgmt(const std::string& name) {
+  // Registry-backed: an unknown name enumerates the registered schemes.
+  return buffer_mgmt_registry().at(name).make();
+}
+
+const char* to_string(BufferMgmt bm) {
+  switch (bm) {
+    case BufferMgmt::kCredit:
+      return "credit";
+    case BufferMgmt::kOnOff:
+      return "on_off";
+  }
+  return "?";
+}
+
+FLEXNET_REGISTER_BUFFER_MGMT({
+    "credit",
+    "exact phit-granular credit counting per VC",
+    [] { return BufferMgmt::kCredit; },
+    nullptr})
+
+FLEXNET_REGISTER_BUFFER_MGMT({
+    "on_off",
+    "on/off backpressure: port-level stop/go bit with hysteresis",
+    [] { return BufferMgmt::kOnOff; },
+    nullptr})
+
+}  // namespace flexnet

@@ -30,6 +30,27 @@ class CreditLedger {
 
   int num_vcs() const { return static_cast<int>(occupied_.size()); }
 
+  /// Switches the ledger to on/off backpressure (buffer_mgmt=on_off): the
+  /// downstream port is modeled by a single stop/go bit with hysteresis —
+  /// sends stop once port free space falls below `off_threshold` and
+  /// resume when it recovers to `on_threshold`. The exact per-VC
+  /// free-space floor stays enforced underneath, so the coarse signal can
+  /// never overflow the receiver; the behavioral difference is the
+  /// hysteresis window in which a "go" port keeps admitting packets the
+  /// exact ledger would already pace. Not calling this (the default)
+  /// leaves behavior byte-identical to exact credits.
+  void enable_on_off(int off_threshold, int on_threshold) {
+    FLEXNET_CHECK(off_threshold >= 0 && on_threshold >= off_threshold);
+    on_off_ = true;
+    off_threshold_ = off_threshold;
+    on_threshold_ = on_threshold;
+    update_off_bit();
+  }
+
+  bool on_off_enabled() const { return on_off_; }
+  /// True while the downstream port signals "stop".
+  bool is_off() const { return off_; }
+
   /// Free phits the sender may use for this VC right now.
   int free_for(VcIndex vc) const {
     const int occ = occupied_[static_cast<std::size_t>(vc)];
@@ -37,7 +58,9 @@ class CreditLedger {
     return private_free + shared_capacity_ - shared_used_;
   }
 
-  bool can_send(VcIndex vc, int phits) const { return free_for(vc) >= phits; }
+  bool can_send(VcIndex vc, int phits) const {
+    return (!on_off_ || !off_) && free_for(vc) >= phits;
+  }
 
   void on_send(VcIndex vc, int phits, RouteKind kind) {
     FLEXNET_DCHECK(can_send(vc, phits));
@@ -79,6 +102,16 @@ class CreditLedger {
       occupied_min_[static_cast<std::size_t>(vc)] += delta;
       occupied_min_port_ += delta;
     }
+    if (on_off_) update_off_bit();
+  }
+
+  void update_off_bit() {
+    const int free = capacity_port() - occupied_port_;
+    if (off_) {
+      if (free >= on_threshold_) off_ = false;
+    } else if (free < off_threshold_) {
+      off_ = true;
+    }
   }
 
   int private_per_vc_;
@@ -86,6 +119,10 @@ class CreditLedger {
   int shared_used_ = 0;
   int occupied_port_ = 0;
   int occupied_min_port_ = 0;
+  bool on_off_ = false;
+  bool off_ = false;
+  int off_threshold_ = 0;
+  int on_threshold_ = 0;
   std::vector<int> occupied_;
   std::vector<int> occupied_min_;
 };

@@ -1,0 +1,60 @@
+#include "buffers/flow_control.hpp"
+
+#include "scenario/registry.hpp"
+
+#include <stdexcept>
+
+namespace flexnet {
+namespace {
+
+/// Shared validate hook for the flit-level schemes: phits_per_packet must
+/// stay a sane segmentation (0 inherits packet_size; anything negative
+/// would corrupt every capacity check).
+void validate_flit_scheme(const SimConfig& cfg) {
+  if (cfg.phits_per_packet < 0)
+    throw std::invalid_argument(
+        "flit-level flow control needs phits_per_packet >= 0 "
+        "(0 inherits packet_size)");
+  if (cfg.effective_packet_phits() < 1)
+    throw std::invalid_argument(
+        "flit-level flow control needs at least one phit per packet");
+}
+
+}  // namespace
+
+FlowControl parse_flow_control(const std::string& name) {
+  // Registry-backed: an unknown name enumerates the registered schemes.
+  return flow_control_registry().at(name).make();
+}
+
+const char* to_string(FlowControl fc) {
+  switch (fc) {
+    case FlowControl::kPacket:
+      return "packet";
+    case FlowControl::kWormhole:
+      return "wormhole";
+    case FlowControl::kVct:
+      return "vct";
+  }
+  return "?";
+}
+
+FLEXNET_REGISTER_FLOW_CONTROL({
+    "packet",
+    "whole-packet granularity: one link event and one credit claim per packet",
+    [] { return FlowControl::kPacket; },
+    nullptr})
+
+FLEXNET_REGISTER_FLOW_CONTROL({
+    "wormhole",
+    "flit streaming; body flits claim downstream space one phit at a time",
+    [] { return FlowControl::kWormhole; },
+    validate_flit_scheme})
+
+FLEXNET_REGISTER_FLOW_CONTROL({
+    "vct",
+    "virtual cut-through: flit streaming with whole-packet buffer claims",
+    [] { return FlowControl::kVct; },
+    validate_flit_scheme})
+
+}  // namespace flexnet

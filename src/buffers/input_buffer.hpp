@@ -72,6 +72,23 @@ class InputBuffer final {
     queues_[static_cast<std::size_t>(vc)].push_back(BufferSlot{ref, phits});
   }
 
+  /// Appends one phit to the newest queued packet on `vc` (a body flit of
+  /// a flit-level stream joining its head). The queue tail is always the
+  /// packet whose flits are still arriving — link FIFO order guarantees
+  /// body flits of one packet arrive contiguously per VC; the always-on
+  /// check below is that no-interleaving invariant.
+  void add_phit(VcIndex vc, PacketRef ref) {
+    auto& q = queues_[static_cast<std::size_t>(vc)];
+    FLEXNET_CHECK(!q.empty() && q.back().ref == ref);
+    FLEXNET_DCHECK(can_accept(vc, 1));
+    q.back().phits += 1;
+    auto& occ = occupancy_[static_cast<std::size_t>(vc)];
+    const int spilled_before = std::max(0, occ - private_per_vc_);
+    occ += 1;
+    shared_used_ += std::max(0, occ - private_per_vc_) - spilled_before;
+    total_occupancy_ += 1;
+  }
+
   bool empty(VcIndex vc) const {
     return queues_[static_cast<std::size_t>(vc)].empty();
   }
@@ -82,6 +99,14 @@ class InputBuffer final {
   PacketRef front(VcIndex vc) const {
     const auto& q = queues_[static_cast<std::size_t>(vc)];
     return q.empty() ? kInvalidPacketRef : q.front().ref;
+  }
+
+  /// Phits of the head packet already buffered here (under flit-level
+  /// flow control a head can be routed before its tail arrives; ejection
+  /// waits for the full count).
+  int front_phits(VcIndex vc) const {
+    const auto& q = queues_[static_cast<std::size_t>(vc)];
+    return q.empty() ? 0 : static_cast<int>(q.front().phits);
   }
 
   BufferSlot pop(VcIndex vc) {

@@ -59,7 +59,7 @@ FLEXNET_REGISTER_ROUTING({
     "group",
     [](const RoutingContext& ctx) -> std::unique_ptr<RoutingAlgorithm> {
       return std::make_unique<ParRouting>(
-          ctx.topo, ctx.oracle, ctx.config.packet_size,
+          ctx.topo, ctx.oracle, ctx.config.effective_packet_phits(),
           ParConfig{ctx.config.adaptive_threshold, ctx.config.mincred});
     },
     nullptr})

@@ -130,7 +130,7 @@ FLEXNET_REGISTER_ROUTING({
       pb.min_only = ctx.config.mincred;
       pb.threshold_packets = ctx.config.adaptive_threshold;
       return std::make_unique<PiggybackRouting>(
-          *df, ctx.oracle, ctx.config.packet_size, pb, first_vc);
+          *df, ctx.oracle, ctx.config.effective_packet_phits(), pb, first_vc);
     },
     [](const SimConfig& cfg) {
       if (cfg.topology != "dragonfly")

@@ -54,7 +54,7 @@ FLEXNET_REGISTER_ROUTING({
     "UGAL-L: source-adaptive MIN vs VAL by local credit occupancy",
     [](const RoutingContext& ctx) -> std::unique_ptr<RoutingAlgorithm> {
       return std::make_unique<UgalRouting>(
-          ctx.topo, ctx.oracle, ctx.config.packet_size,
+          ctx.topo, ctx.oracle, ctx.config.effective_packet_phits(),
           UgalConfig{ctx.config.adaptive_threshold, ctx.config.mincred});
     },
     nullptr})

@@ -37,6 +37,16 @@ Registry<BufferOrgFactory>& buffer_org_registry() {
   return *r;
 }
 
+Registry<FlowControlFactory>& flow_control_registry() {
+  static auto* r = new Registry<FlowControlFactory>("flow_control");
+  return *r;
+}
+
+Registry<BufferMgmtFactory>& buffer_mgmt_registry() {
+  static auto* r = new Registry<BufferMgmtFactory>("buffer_mgmt");
+  return *r;
+}
+
 void validate_config(const SimConfig& cfg) {
   const auto check = [&cfg](const auto& registry, const std::string& name) {
     const auto& entry = registry.at(name);  // throws with the name list
@@ -48,6 +58,8 @@ void validate_config(const SimConfig& cfg) {
   check(vc_selection_registry(), cfg.vc_selection);
   check(traffic_registry(), cfg.traffic);
   check(buffer_org_registry(), cfg.buffer_org);
+  check(flow_control_registry(), cfg.flow_control);
+  check(buffer_mgmt_registry(), cfg.buffer_mgmt);
   // The arrangement string is component-like config too: parse it now so a
   // malformed "vcs" fails with its parser's message, not mid-construction.
   (void)VcArrangement::parse(cfg.vcs);
@@ -68,6 +80,8 @@ std::vector<RegistryListing> list_registries() {
   snapshot(vc_selection_registry());
   snapshot(traffic_registry());
   snapshot(buffer_org_registry());
+  snapshot(flow_control_registry());
+  snapshot(buffer_mgmt_registry());
   return out;
 }
 

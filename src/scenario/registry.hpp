@@ -32,7 +32,9 @@
 #include <string>
 #include <vector>
 
+#include "buffers/buffer_mgmt.hpp"
 #include "buffers/buffer_org.hpp"
+#include "buffers/flow_control.hpp"
 #include "core/vc_policy.hpp"
 #include "core/vc_selection.hpp"
 #include "routing/routing.hpp"
@@ -159,6 +161,8 @@ using RoutingFactory =
     std::function<std::unique_ptr<RoutingAlgorithm>(const RoutingContext&)>;
 using VcSelectionFactory = std::function<VcSelection()>;
 using BufferOrgFactory = std::function<BufferOrg()>;
+using FlowControlFactory = std::function<FlowControl()>;
+using BufferMgmtFactory = std::function<BufferMgmt()>;
 
 Registry<TopologyFactory>& topology_registry();
 Registry<VcPolicyFactory>& vc_policy_registry();
@@ -166,6 +170,8 @@ Registry<RoutingFactory>& routing_registry();
 Registry<VcSelectionFactory>& vc_selection_registry();
 Registry<TrafficFactories>& traffic_registry();
 Registry<BufferOrgFactory>& buffer_org_registry();
+Registry<FlowControlFactory>& flow_control_registry();
+Registry<BufferMgmtFactory>& buffer_mgmt_registry();
 
 /// Checks every component name in `cfg` against its registry (unknown
 /// names enumerate the alternatives), runs each entry's validate hook,
@@ -228,5 +234,9 @@ struct Registrar {
   FLEXNET_REGISTER_COMPONENT(traffic_registry, __VA_ARGS__)
 #define FLEXNET_REGISTER_BUFFER_ORG(...) \
   FLEXNET_REGISTER_COMPONENT(buffer_org_registry, __VA_ARGS__)
+#define FLEXNET_REGISTER_FLOW_CONTROL(...) \
+  FLEXNET_REGISTER_COMPONENT(flow_control_registry, __VA_ARGS__)
+#define FLEXNET_REGISTER_BUFFER_MGMT(...) \
+  FLEXNET_REGISTER_COMPONENT(buffer_mgmt_registry, __VA_ARGS__)
 
 }  // namespace flexnet

@@ -102,6 +102,9 @@ const KeySpec kKeySpecs[] = {
     {"pb_per_vc", SimConfig::KeyKind::kBool, apply_bool<&SimConfig::pb_per_vc>},
     {"mincred", SimConfig::KeyKind::kBool, apply_bool<&SimConfig::mincred>},
     {"threshold", SimConfig::KeyKind::kInt, apply_int<&SimConfig::adaptive_threshold>},
+    {"flow_control", SimConfig::KeyKind::kString, apply_string<&SimConfig::flow_control>},
+    {"phits_per_packet", SimConfig::KeyKind::kInt, apply_int<&SimConfig::phits_per_packet>},
+    {"buffer_mgmt", SimConfig::KeyKind::kString, apply_string<&SimConfig::buffer_mgmt>},
     {"traffic", SimConfig::KeyKind::kString, apply_string<&SimConfig::traffic>},
     {"reactive", SimConfig::KeyKind::kBool, apply_bool<&SimConfig::reactive>},
     {"load", SimConfig::KeyKind::kDouble, apply_double<&SimConfig::load>},
@@ -165,7 +168,10 @@ std::string SimConfig::canonical() const {
       << ";local_latency=" << local_latency
       << ";global_latency=" << global_latency << ";routing=" << routing
       << ";pb_per_vc=" << pb_per_vc << ";mincred=" << mincred
-      << ";threshold=" << adaptive_threshold << ";traffic=" << traffic
+      << ";threshold=" << adaptive_threshold
+      << ";flow_control=" << flow_control
+      << ";phits_per_packet=" << phits_per_packet
+      << ";buffer_mgmt=" << buffer_mgmt << ";traffic=" << traffic
       << ";reactive=" << reactive << ";load=" << hex(load)
       << ";burst_length=" << hex(burst_length)
       << ";adv_offset=" << adversarial_offset
@@ -179,8 +185,12 @@ std::string SimConfig::canonical() const {
 std::string SimConfig::summary() const {
   std::ostringstream out;
   out << topology << " vcs=" << vcs << " policy=" << policy
-      << " org=" << buffer_org << " routing=" << routing
-      << " traffic=" << traffic << (reactive ? "+reactive" : "")
+      << " org=" << buffer_org << " routing=" << routing;
+  // Non-default flow control / buffer management only: default-mode
+  // summaries (embedded in golden suite reports) stay byte-identical.
+  if (flow_control != "packet") out << " fc=" << flow_control;
+  if (buffer_mgmt != "credit") out << " bm=" << buffer_mgmt;
+  out << " traffic=" << traffic << (reactive ? "+reactive" : "")
       << " load=" << load << " seed=" << seed;
   return out.str();
 }

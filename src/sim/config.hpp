@@ -54,6 +54,17 @@ struct SimConfig {
   bool mincred = false;         ///< FlexVC-minCred credit accounting
   int adaptive_threshold = 3;   ///< T, packets (Table V)
 
+  // --- Flow control. "packet" is the original whole-packet credit mode
+  // and stays byte-identical to the pre-axis engine; "wormhole" and "vct"
+  // stream packets phit-by-phit across links (head-flit routing, body
+  // flits follow on the committed VC). phits_per_packet=0 inherits
+  // packet_size, so flits line up with the paper's phit-sized buffers.
+  std::string flow_control = "packet";  // packet | wormhole | vct
+  int phits_per_packet = 0;             ///< 0 = inherit packet_size
+  /// Buffer-management scheme downstream space is tracked with:
+  /// exact credits or coarse on/off backpressure with hysteresis.
+  std::string buffer_mgmt = "credit";  // credit | on_off
+
   // --- Traffic.
   std::string traffic = "uniform";  // uniform | adversarial | bursty
   bool reactive = false;            ///< request-reply dependencies
@@ -87,6 +98,12 @@ struct SimConfig {
 
   /// Kind of `key`; throws std::invalid_argument for unknown keys.
   static KeyKind key_kind(const std::string& key);
+
+  /// Phits a packet occupies on links and in buffers. All schemes share
+  /// this so packet mode and flit modes agree on every capacity check.
+  int effective_packet_phits() const {
+    return phits_per_packet > 0 ? phits_per_packet : packet_size;
+  }
 
   std::string summary() const;
 

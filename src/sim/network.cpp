@@ -90,6 +90,9 @@ void Network::build() {
   const int num_routers = topo_->num_routers();
   const int inj_ports = topo_->concentration();
   const BufferOrg org = buffer_org_registry().at(config_.buffer_org).make();
+  flow_control_ = flow_control_registry().at(config_.flow_control).make();
+  buffer_mgmt_ = buffer_mgmt_registry().at(config_.buffer_mgmt).make();
+  flit_ = is_flit_level(flow_control_);
 
   // Offset tables (with sentinels) first, then one flat reserve per array:
   // the whole router state is a handful of contiguous allocations.
@@ -148,6 +151,16 @@ void Network::build() {
       in_.push_back(make_buffer(geom));
       out_.emplace_back(config_.output_buffer, config_.pipeline_latency);
       ledger_.emplace_back(geom.num_vcs, geom.private_per_vc, geom.shared);
+      if (buffer_mgmt_ == BufferMgmt::kOnOff) {
+        // On/off hysteresis thresholds derive from the packet size: stop
+        // once less than one packet of port space remains, resume at two
+        // packets' worth (both capped by the port capacity so a small
+        // port can still turn back on).
+        const int eff = config_.effective_packet_phits();
+        const int cap = ledger_.back().capacity_port();
+        ledger_.back().enable_on_off(std::min(eff, cap),
+                                     std::min(2 * eff, cap));
+      }
       link_vcs[static_cast<std::size_t>(link_at(r, p))] = geom.num_vcs;
 
       DirLink& link = links_[static_cast<std::size_t>(link_at(r, p))];
@@ -181,6 +194,11 @@ void Network::build() {
   // topology maxima (the allocator never resizes anything per cycle).
   router_buffered_.assign(static_cast<std::size_t>(num_routers), 0);
   router_in_pipe_.assign(static_cast<std::size_t>(num_routers), 0);
+  router_streaming_.assign(static_cast<std::size_t>(num_routers), 0);
+  if (flit_) {
+    transit_.assign(static_cast<std::size_t>(total_links), TransitTail{});
+    streams_.assign(static_cast<std::size_t>(total_links), LinkStream{});
+  }
   active_links_.resize(static_cast<std::size_t>(total_links));
   alloc_routers_.resize(static_cast<std::size_t>(num_routers));
   send_routers_.resize(static_cast<std::size_t>(num_routers));
@@ -321,7 +339,10 @@ void Network::step(Cycle now) {
   });
   send_routers_.sweep([&](std::int32_t r) {
     send(r, now);
-    return router_in_pipe_[static_cast<std::size_t>(r)] > 0;
+    // An active link stream keeps the router sending even when the output
+    // pipelines drained — stalled body flits must retry every cycle.
+    return router_in_pipe_[static_cast<std::size_t>(r)] > 0 ||
+           router_streaming_[static_cast<std::size_t>(r)] > 0;
   });
 }
 
@@ -331,12 +352,46 @@ void Network::deliver(Cycle now) {
     while (!link.data.empty() && link.data.front().arrive <= now) {
       const FlyingPacket fp = link.data.front();
       link.data.pop_front();
-      in_[static_cast<std::size_t>(input_at(link.to, link.to_port))].push(
-          fp.vc, fp.ref, pool_[fp.ref].size);
-      FLEXNET_TELEM(if (telem_.enabled())
-                        telem_.on_delivery(li, pool_[fp.ref].size));
-      ++router_buffered_[static_cast<std::size_t>(link.to)];
-      alloc_routers_.add(link.to);
+      if (!flit_) {
+        in_[static_cast<std::size_t>(input_at(link.to, link.to_port))].push(
+            fp.vc, fp.ref, pool_[fp.ref].size);
+        FLEXNET_TELEM(if (telem_.enabled())
+                          telem_.on_delivery(li, pool_[fp.ref].size));
+        ++router_buffered_[static_cast<std::size_t>(link.to)];
+        alloc_routers_.add(link.to);
+        continue;
+      }
+      // Flit-level flow control: one event per flit. The head claims a
+      // buffer slot and becomes routable (cut-through: the tail may still
+      // be in flight); body flits either join their head in the buffer or
+      // — when the packet was already granted onward — cut through the
+      // router entirely, crediting the upstream sender right away and
+      // advancing the outbound stream's availability count.
+      FLEXNET_TELEM(if (telem_.enabled()) telem_.on_delivery(li, 1));
+      if (fp.seq == 0) {
+        in_[static_cast<std::size_t>(input_at(link.to, link.to_port))].push(
+            fp.vc, fp.ref, 1);
+        ++router_buffered_[static_cast<std::size_t>(link.to)];
+        alloc_routers_.add(link.to);
+        continue;
+      }
+      TransitTail& tail = transit_[static_cast<std::size_t>(li)];
+      if (tail.ref == fp.ref && tail.remaining > 0) {
+        // The freed upstream slot travels back per flit; this link is
+        // already mid-sweep, so rely on the sweep's keep-alive return
+        // instead of ActiveSet::add.
+        link.credits.push_back(FlyingCredit{fp.vc, 1, tail.kind,
+                                            now + link.latency});
+        --tail.remaining;
+        if (tail.remaining == 0) tail = TransitTail{};
+        FLEXNET_TELEM(if (telem_.enabled()) telem_.on_flit_transit(li));
+        continue;
+      }
+      // Body flit joining its buffered head. add_phit pins the no-
+      // interleaving invariant: the flit must belong to the newest packet
+      // on its VC.
+      in_[static_cast<std::size_t>(input_at(link.to, link.to_port))]
+          .add_phit(fp.vc, fp.ref);
     }
     // Credits travel on the reverse channel back to the sender's ledger.
     // Ledgers are link-indexed, so the owning ledger of link li *is*
@@ -402,6 +457,11 @@ bool Network::find_action(RouterId r, PortIndex ip, VcIndex vc, Cycle now,
   const PacketRef href = buf.front(vc);
   if (href == kInvalidPacketRef) return false;
   const Packet& head = pool_[href];
+  // Downstream phits a grant must see in the ledger: wormhole claims only
+  // the head flit now (body flits claim one by one as they serialize);
+  // VCT and packet mode claim the whole packet up front.
+  const int ledger_need =
+      flow_control_ == FlowControl::kWormhole ? 1 : head.size;
 
   Commitment& commit = commits_[static_cast<std::size_t>(
       commit_index_[static_cast<std::size_t>(input_at(r, ip))] + vc)];
@@ -420,6 +480,8 @@ bool Network::find_action(RouterId r, PortIndex ip, VcIndex vc, Cycle now,
   // credits this cycle).
   if (commit.pkt == head.id) {
     if (commit.option.ejection) {
+      if (flit_ && buf.front_phits(vc) < head.size)
+        return false;  // tail still in flight: ejection waits for it
       const int out = eject_output_index(
           r, head.dst % topo_->concentration(), head.cls);
       if (out_matched_[static_cast<std::size_t>(out)]) return false;
@@ -433,7 +495,7 @@ bool Network::find_action(RouterId r, PortIndex ip, VcIndex vc, Cycle now,
     const bool feasible =
         !out_matched_[static_cast<std::size_t>(commit.option.out_port)] &&
         out_[li].can_reserve(head.size) &&
-        ledger_[li].can_send(commit.out_vc, head.size);
+        ledger_[li].can_send(commit.out_vc, ledger_need);
     if (feasible) {
       fill_request(commit, commit.option.out_port);
       return true;
@@ -447,6 +509,8 @@ bool Network::find_action(RouterId r, PortIndex ip, VcIndex vc, Cycle now,
   routing_->route(head, r, rng_[static_cast<std::size_t>(r)], scratch_options_);
   for (const RouteOption& opt : scratch_options_) {
     if (opt.ejection) {
+      if (flit_ && buf.front_phits(vc) < head.size)
+        return false;  // tail still in flight: ejection waits for it
       const int out = eject_output_index(
           r, head.dst % topo_->concentration(), head.cls);
       commit.pkt = head.id;
@@ -477,14 +541,18 @@ bool Network::find_action(RouterId r, PortIndex ip, VcIndex vc, Cycle now,
     policy_->candidates(ctx, scratch_cands_);
     if (scratch_cands_.empty()) continue;  // hop inadmissible: next option
 
+    // An on/off ledger signalling "stop" blocks the whole port (the
+    // select_vc filter below only sees per-VC free space, so the
+    // port-level off bit must gate here).
     const bool output_free =
         !out_matched_[static_cast<std::size_t>(opt.out_port)] &&
-        ou.can_reserve(head.size);
+        ou.can_reserve(head.size) &&
+        !(ledger.on_off_enabled() && ledger.is_off());
     // Prefer a candidate that can move right now.
     if (output_free) {
       const int sel = select_vc(
           selection_, scratch_cands_,
-          [&ledger](VcIndex v) { return ledger.free_for(v); }, head.size,
+          [&ledger](VcIndex v) { return ledger.free_for(v); }, ledger_need,
           rng_[static_cast<std::size_t>(r)]);
       if (sel >= 0) {
         const VcCandidate& cand = scratch_cands_[static_cast<std::size_t>(sel)];
@@ -609,14 +677,36 @@ void Network::grant(RouterId r, const Request& req, Cycle now) {
   }
 
   // Return the freed space upstream (network input ports only; injection
-  // buffers are observed directly by the node).
+  // buffers are observed directly by the node). Under flit-level flow
+  // control only the flits that actually reached this buffer are freed
+  // now — slot.phits == pkt.size in packet mode — and a tail still in
+  // flight leaves a TransitTail so the remaining flits credit upstream
+  // as they arrive and feed the outbound stream's availability.
   if (req.in_port < net_ports(r)) {
     const PortDesc& desc = topo_->port(r, req.in_port);
     const int uli = link_at(desc.neighbor, desc.neighbor_port);
     DirLink& upstream = links_[static_cast<std::size_t>(uli)];
     upstream.credits.push_back(FlyingCredit{
-        req.in_vc, pkt.size, pkt.credited_kind, now + upstream.latency});
+        req.in_vc, slot.phits, pkt.credited_kind, now + upstream.latency});
     active_links_.add(uli);
+    if (flit_ && slot.phits < pkt.size) {
+      TransitTail& tail = transit_[static_cast<std::size_t>(uli)];
+      FLEXNET_CHECK(tail.ref == kInvalidPacketRef);
+      tail = TransitTail{slot.ref, pkt.size - slot.phits, req.in_vc,
+                         pkt.credited_kind};
+    }
+  }
+  if (flit_ && !req.option.ejection) {
+    // Where the outbound stream finds this packet's TransitTail (or -1:
+    // fully arrived / injected — injection buffers hold whole packets).
+    const bool in_flight =
+        req.in_port < net_ports(r) && slot.phits < pkt.size;
+    const PortDesc* desc =
+        in_flight ? &topo_->port(r, req.in_port) : nullptr;
+    if (flit_src_link_.size() <= static_cast<std::size_t>(slot.ref))
+      flit_src_link_.resize(static_cast<std::size_t>(slot.ref) + 1, -1);
+    flit_src_link_[static_cast<std::size_t>(slot.ref)] =
+        in_flight ? link_at(desc->neighbor, desc->neighbor_port) : -1;
   }
 
   if (req.option.ejection) {
@@ -642,13 +732,18 @@ void Network::grant(RouterId r, const Request& req, Cycle now) {
   if (record_routes_)
     traces_[static_cast<std::size_t>(slot.ref)].push_back(
         static_cast<std::int16_t>(links_[static_cast<std::size_t>(li)].to));
-  ledger_[static_cast<std::size_t>(li)].on_send(req.out_vc, pkt.size,
+  // Wormhole claims only the head flit at the grant; its body flits claim
+  // one by one as the link stream serializes them (send()). VCT and packet
+  // mode claim the whole packet here.
+  const int claim =
+      flow_control_ == FlowControl::kWormhole ? 1 : pkt.size;
+  ledger_[static_cast<std::size_t>(li)].on_send(req.out_vc, claim,
                                                 pkt.route_kind);
   FLEXNET_TELEM(if (telem_.enabled()) {
     // Occupancy is sampled *after* the send lands in the ledger, so the
     // sum divided by sends gives mean sender-side occupancy at send time.
     const CreditLedger& lg = ledger_[static_cast<std::size_t>(li)];
-    telem_.on_send(li, req.out_vc, pkt.size, lg.occupied(req.out_vc),
+    telem_.on_send(li, req.out_vc, claim, lg.occupied(req.out_vc),
                    lg.occupied_port());
   });
   out_[static_cast<std::size_t>(li)].accept(slot.ref, pkt.size, req.out_vc,
@@ -662,15 +757,76 @@ void Network::send(RouterId r, Cycle now) {
   const int li1 = link_index_[static_cast<std::size_t>(r) + 1];
   for (int li = li0; li < li1; ++li) {
     OutputUnit& ou = out_[static_cast<std::size_t>(li)];
-    if (!ou.ready_to_send(now)) continue;
-    VcIndex vc = kInvalidVc;
-    const PacketRef ref = ou.start_send(now, vc);
+    if (!flit_) {
+      if (!ou.ready_to_send(now)) continue;
+      VcIndex vc = kInvalidVc;
+      const PacketRef ref = ou.start_send(now, vc);
+      DirLink& link = links_[static_cast<std::size_t>(li)];
+      // The packet is eligible downstream one cycle after its head
+      // arrives; its phits keep streaming behind it.
+      link.data.push_back(FlyingPacket{ref, vc, now + link.latency + 1, 0});
+      active_links_.add(li);
+      --router_in_pipe_[static_cast<std::size_t>(r)];
+      continue;
+    }
+    // Flit-level flow control: the link serializes one packet at a time,
+    // one flit per cycle. The head flit leaves the cycle the stream
+    // starts — the same cycle packet mode pushes its single event — so
+    // with one-flit packets the two paths emit identical link events.
+    LinkStream& st = streams_[static_cast<std::size_t>(li)];
+    if (st.ref == kInvalidPacketRef) {
+      if (!ou.ready_to_send(now)) continue;
+      VcIndex vc = kInvalidVc;
+      const PacketRef ref = ou.start_send(now, vc);
+      --router_in_pipe_[static_cast<std::size_t>(r)];
+      const Packet& pkt = pool_[ref];
+      st.ref = ref;
+      st.vc = vc;
+      st.next = 0;
+      st.total = pkt.size;
+      st.in_link = static_cast<std::size_t>(ref) < flit_src_link_.size()
+                       ? flit_src_link_[static_cast<std::size_t>(ref)]
+                       : -1;
+      // Captured now: a later grant downstream rewrites pkt.route_kind
+      // while body flits are still claiming space at this ledger.
+      st.kind = pkt.route_kind;
+      ++router_streaming_[static_cast<std::size_t>(r)];
+    }
+    // Availability: a flit can only leave once it has arrived here. The
+    // TransitTail on the inbound link counts the flits still in flight.
+    int arrived = st.total;
+    if (st.in_link >= 0) {
+      const TransitTail& tail =
+          transit_[static_cast<std::size_t>(st.in_link)];
+      if (tail.ref == st.ref)
+        arrived = st.total - tail.remaining;
+      else
+        st.in_link = -1;  // tail fully arrived; stop consulting
+    }
+    if (st.next >= arrived) {
+      FLEXNET_TELEM(if (telem_.enabled()) telem_.on_flit_stall(li));
+      continue;  // wait for the tail to catch up
+    }
+    if (flow_control_ == FlowControl::kWormhole && st.next > 0) {
+      // Body flits claim downstream space one at a time; a full buffer
+      // (or an off backpressure bit) stalls the stream in place.
+      CreditLedger& ledger = ledger_[static_cast<std::size_t>(li)];
+      if (!ledger.can_send(st.vc, 1)) {
+        FLEXNET_TELEM(if (telem_.enabled()) telem_.on_flit_stall(li));
+        continue;
+      }
+      ledger.on_send(st.vc, 1, st.kind);
+    }
     DirLink& link = links_[static_cast<std::size_t>(li)];
-    // Virtual cut-through: the packet is eligible downstream one cycle
-    // after its head arrives; its phits keep streaming behind it.
-    link.data.push_back(FlyingPacket{ref, vc, now + link.latency + 1});
+    link.data.push_back(
+        FlyingPacket{st.ref, st.vc, now + link.latency + 1, st.next});
     active_links_.add(li);
-    --router_in_pipe_[static_cast<std::size_t>(r)];
+    FLEXNET_TELEM(if (telem_.enabled()) telem_.on_flit(li));
+    ++st.next;
+    if (st.next == st.total) {
+      st = LinkStream{};
+      --router_streaming_[static_cast<std::size_t>(r)];
+    }
   }
 }
 

@@ -26,8 +26,10 @@
 #include <memory>
 #include <vector>
 
+#include "buffers/buffer_mgmt.hpp"
 #include "buffers/buffer_org.hpp"
 #include "buffers/credit_ledger.hpp"
+#include "buffers/flow_control.hpp"
 #include "buffers/input_buffer.hpp"
 #include "buffers/packet_pool.hpp"
 #include "common/event_lane.hpp"
@@ -61,6 +63,8 @@ class Network final : public CongestionOracle {
 
   const Topology& topology() const { return *topo_; }
   const SimConfig& config() const { return config_; }
+  FlowControl flow_control() const { return flow_control_; }
+  BufferMgmt buffer_mgmt() const { return buffer_mgmt_; }
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
   const VcPolicy& policy() const { return *policy_; }
@@ -112,6 +116,13 @@ class Network final : public CongestionOracle {
   /// Occupancy of a specific input VC of a router port (tests/inspection).
   int input_occupancy(RouterId r, PortIndex p, VcIndex vc) const;
 
+  /// Direct read access to one input buffer (tests/inspection). Input
+  /// ports are the router's network ports followed by its injection port.
+  const InputBuffer& input_buffer(RouterId r, PortIndex p) const {
+    return in_[static_cast<std::size_t>(input_at(r, p))];
+  }
+  int num_input_ports(RouterId r) const { return num_inputs(r); }
+
   /// Prints every buffered head packet older than `min_age` — the stalled
   /// traffic diagnostic the deadlock watchdog triggers. Gated on the
   /// FLEXNET_DEBUG_STUCK environment variable: unless it is set (non-empty,
@@ -120,11 +131,15 @@ class Network final : public CongestionOracle {
   void debug_dump_stuck(Cycle now, Cycle min_age) const;
 
  private:
-  /// A packet in flight on a link (payload in the pool slab).
+  /// A packet in flight on a link (payload in the pool slab). Under
+  /// flit-level flow control one event per flit travels the lane; `seq` is
+  /// the flit's index within its packet (0 = head). Packet mode keeps one
+  /// event per packet with seq 0.
   struct FlyingPacket {
     PacketRef ref = kInvalidPacketRef;
     VcIndex vc = kInvalidVc;
     Cycle arrive = 0;
+    std::int32_t seq = 0;
   };
   struct FlyingCredit {
     VcIndex vc = kInvalidVc;
@@ -154,6 +169,32 @@ class Network final : public CongestionOracle {
     VcIndex out_vc = kInvalidVc;
     int out_position = -1;
     bool safe = false;
+  };
+
+  /// Tail of a granted packet still arriving on an inbound link (flit
+  /// modes only). Body flits landing while this record is live bypass the
+  /// input buffer: they credit the upstream sender immediately and feed
+  /// the outbound stream's availability count. At most one record per
+  /// link — a link serializes one packet at a time, so a new head cannot
+  /// arrive before the previous tail completes.
+  struct TransitTail {
+    PacketRef ref = kInvalidPacketRef;
+    std::int32_t remaining = 0;  ///< flits still to arrive
+    VcIndex in_vc = kInvalidVc;
+    RouteKind kind = RouteKind::kMinimal;  ///< kind upstream credits carry
+  };
+
+  /// Per-link outbound flit stream (flit modes only): the packet currently
+  /// serializing onto the link at one flit per cycle. A stream stalls in
+  /// place when the next flit has not yet arrived from upstream, or — under
+  /// wormhole — when the downstream buffer has no space for a body flit.
+  struct LinkStream {
+    PacketRef ref = kInvalidPacketRef;
+    VcIndex vc = kInvalidVc;
+    std::int32_t next = 0;   ///< next flit sequence to emit
+    std::int32_t total = 0;  ///< packet size in flits
+    int in_link = -1;        ///< inbound link feeding the tail, or -1
+    RouteKind kind = RouteKind::kMinimal;  ///< kind body-flit claims carry
   };
 
   /// Stage-1 result: one input port's chosen action for this iteration.
@@ -201,6 +242,9 @@ class Network final : public CongestionOracle {
   std::unique_ptr<VcPolicy> policy_;
   std::unique_ptr<RoutingAlgorithm> routing_;
   VcSelection selection_ = VcSelection::kJsq;
+  FlowControl flow_control_ = FlowControl::kPacket;
+  BufferMgmt buffer_mgmt_ = BufferMgmt::kCredit;
+  bool flit_ = false;  ///< cached is_flit_level(flow_control_)
 
   // --- Struct-of-arrays router state (flat, offset-table indexed). The
   // link→(owner, port) mapping is baked into the flat link index at
@@ -225,6 +269,15 @@ class Network final : public CongestionOracle {
   PacketPool pool_;
   std::vector<std::int32_t> router_buffered_;  // packets in input buffers
   std::vector<std::int32_t> router_in_pipe_;   // packets in output units
+  std::vector<std::int32_t> router_streaming_;  // active link streams
+
+  // --- Flit-level flow control state (empty in packet mode).
+  std::vector<TransitTail> transit_;  // by inbound link index
+  std::vector<LinkStream> streams_;   // by outbound link index
+  /// Inbound link a pool slot's tail streams in on (-1 = fully arrived or
+  /// injected), recorded at grant so the outbound stream can find its
+  /// TransitTail without a search. Grown lazily like traces_.
+  std::vector<std::int32_t> flit_src_link_;
   ActiveSet active_links_;   // links with queued data or credit events
   ActiveSet alloc_routers_;  // routers with buffered packets
   ActiveSet send_routers_;   // routers with occupied output units

@@ -34,7 +34,7 @@ void Node::inject(Cycle now, Network& net) {
     if (queue.front().created > now) continue;  // reply not materialized yet
     if (net.try_inject(id_, queue.front(), now)) {
       queue.pop_front();
-      inject_busy_until_ = now + config_.packet_size;
+      inject_busy_until_ = now + config_.effective_packet_phits();
       return;
     }
   }
@@ -50,7 +50,7 @@ void Node::generate(Cycle now, Network& net) {
   Packet pkt;
   pkt.src = id_;
   pkt.dst = burst_destination_;
-  pkt.size = config_.packet_size;
+  pkt.size = config_.effective_packet_phits();
   pkt.cls = MsgClass::kRequest;
   pkt.created = now;
   pkt.vc_position = kInjectionPosition;
@@ -80,7 +80,7 @@ Cycle Node::consume(const Packet& pkt, Cycle now, Network& net) {
     Packet reply;
     reply.src = id_;
     reply.dst = pkt.src;
-    reply.size = config_.packet_size;
+    reply.size = config_.effective_packet_phits();
     reply.cls = MsgClass::kReply;
     reply.created = completion;
     reply.vc_position = kInjectionPosition;

@@ -33,6 +33,9 @@ void TelemetryCounters::configure(int routers,
   zero(link_sent_phits_, links_);
   zero(link_credit_phits_, links_);
   zero(link_occupancy_sum_, links_);
+  zero(link_flits_, links_);
+  zero(link_flit_stalls_, links_);
+  zero(link_transit_flits_, links_);
   zero(vc_sends_, total_vcs);
   zero(vc_occupancy_sum_, total_vcs);
   steps_ = 0;
@@ -63,6 +66,9 @@ void TelemetryCounters::expand_to(int routers,
     wider.link_sent_phits_[i] = link_sent_phits_[i];
     wider.link_credit_phits_[i] = link_credit_phits_[i];
     wider.link_occupancy_sum_[i] = link_occupancy_sum_[i];
+    wider.link_flits_[i] = link_flits_[i];
+    wider.link_flit_stalls_[i] = link_flit_stalls_[i];
+    wider.link_transit_flits_[i] = link_transit_flits_[i];
     for (int v = 0; v < vcs_of_link(l); ++v) {
       const auto from = static_cast<std::size_t>(vc_index_[i] + v);
       const auto to = static_cast<std::size_t>(wider.vc_index_[i] + v);
@@ -118,6 +124,9 @@ void TelemetryCounters::merge(const TelemetryCounters& other) {
     link_sent_phits_[i] += other.link_sent_phits_[i];
     link_credit_phits_[i] += other.link_credit_phits_[i];
     link_occupancy_sum_[i] += other.link_occupancy_sum_[i];
+    link_flits_[i] += other.link_flits_[i];
+    link_flit_stalls_[i] += other.link_flit_stalls_[i];
+    link_transit_flits_[i] += other.link_transit_flits_[i];
     for (int v = 0; v < other.vcs_of_link(l); ++v) {
       const auto to = static_cast<std::size_t>(vc_index_[i] + v);
       const auto from = static_cast<std::size_t>(other.vc_index_[i] + v);
@@ -177,6 +186,10 @@ std::string TelemetryCounters::render() const {
     out << "link." << l << ".sent_phits " << link_sent_phits_[i] << '\n';
     out << "link." << l << ".credit_phits " << link_credit_phits_[i] << '\n';
     out << "link." << l << ".occupancy_sum " << link_occupancy_sum_[i]
+        << '\n';
+    out << "link." << l << ".flits " << link_flits_[i] << '\n';
+    out << "link." << l << ".flit_stalls " << link_flit_stalls_[i] << '\n';
+    out << "link." << l << ".transit_flits " << link_transit_flits_[i]
         << '\n';
     for (int v = 0; v < vcs_of_link(l); ++v) {
       const auto s = static_cast<std::size_t>(vc_index_[i] + v);

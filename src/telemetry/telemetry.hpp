@@ -113,6 +113,24 @@ class TelemetryCounters {
     link_credit_phits_[static_cast<std::size_t>(link)] += phits;
   }
 
+  // --- Flit-level flow control (flow_control=wormhole|vct). All three are
+  // zero in packet mode, so the packet-mode snapshot is unchanged.
+
+  /// One flit serialized onto link `link`.
+  void on_flit(int link) {
+    ++link_flits_[static_cast<std::size_t>(link)];
+  }
+  /// A link stream that could not emit this cycle (tail not yet arrived,
+  /// or a wormhole body flit out of downstream space).
+  void on_flit_stall(int link) {
+    ++link_flit_stalls_[static_cast<std::size_t>(link)];
+  }
+  /// A body flit that cut through link `link`'s receiver without entering
+  /// its input buffer (the packet was already granted onward).
+  void on_flit_transit(int link) {
+    ++link_transit_flits_[static_cast<std::size_t>(link)];
+  }
+
   /// Sampled once per Network::step before the sweeps: active-set sizes
   /// and live pooled packets at the start of the cycle.
   void on_step(std::size_t active_links, std::size_t alloc_routers,
@@ -172,6 +190,9 @@ class TelemetryCounters {
   std::vector<std::int64_t> link_sent_phits_;
   std::vector<std::int64_t> link_credit_phits_;
   std::vector<std::int64_t> link_occupancy_sum_;
+  std::vector<std::int64_t> link_flits_;
+  std::vector<std::int64_t> link_flit_stalls_;
+  std::vector<std::int64_t> link_transit_flits_;
 
   std::vector<std::int64_t> vc_sends_;
   std::vector<std::int64_t> vc_occupancy_sum_;

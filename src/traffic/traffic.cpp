@@ -77,8 +77,8 @@ FLEXNET_REGISTER_TRAFFIC({
         },
         [](const SimConfig& cfg, double request_load)
             -> std::unique_ptr<InjectionProcess> {
-          return std::make_unique<BernoulliProcess>(request_load,
-                                                    cfg.packet_size);
+          return std::make_unique<BernoulliProcess>(
+              request_load, cfg.effective_packet_phits());
         }},
     nullptr})
 
@@ -94,7 +94,7 @@ FLEXNET_REGISTER_TRAFFIC({
         [](const SimConfig& cfg, double request_load)
             -> std::unique_ptr<InjectionProcess> {
           return std::make_unique<OnOffProcess>(
-              request_load, cfg.packet_size, cfg.burst_length);
+              request_load, cfg.effective_packet_phits(), cfg.burst_length);
         }},
     [](const SimConfig& cfg) {
       if (cfg.burst_length < 1.0)
@@ -113,8 +113,8 @@ FLEXNET_REGISTER_TRAFFIC({
         },
         [](const SimConfig& cfg, double request_load)
             -> std::unique_ptr<InjectionProcess> {
-          return std::make_unique<BernoulliProcess>(request_load,
-                                                    cfg.packet_size);
+          return std::make_unique<BernoulliProcess>(
+              request_load, cfg.effective_packet_phits());
         }},
     [](const SimConfig& cfg) {
       if (cfg.adversarial_offset < 1)

@@ -1,0 +1,14 @@
+// Lint fixture (L4, violating): flow-control and buffer-management
+// registrations no shipped suite or test ever exercises.
+#define FLEXNET_REGISTER_FLOW_CONTROL(...)
+#define FLEXNET_REGISTER_BUFFER_MGMT(...)
+
+FLEXNET_REGISTER_FLOW_CONTROL({
+    "dead_flow",
+    "registered but exercised nowhere",
+    nullptr})
+
+FLEXNET_REGISTER_BUFFER_MGMT({
+    "dead_backpressure",
+    "registered but exercised nowhere",
+    nullptr})

@@ -1,0 +1,14 @@
+// Lint fixture (L4, clean): flow-control and buffer-management
+// registrations whose names are exercised by tests/use.cpp.
+#define FLEXNET_REGISTER_FLOW_CONTROL(...)
+#define FLEXNET_REGISTER_BUFFER_MGMT(...)
+
+FLEXNET_REGISTER_FLOW_CONTROL({
+    "steady_flow",
+    "registered and exercised by tests/use.cpp",
+    nullptr})
+
+FLEXNET_REGISTER_BUFFER_MGMT({
+    "steady_backpressure",
+    "registered and exercised by tests/use.cpp",
+    nullptr})

@@ -3,5 +3,7 @@
 namespace flexnet_fixture {
 
 const char* kExercisedRouting = "steady";
+const char* kExercisedFlowControl = "steady_flow";
+const char* kExercisedBufferMgmt = "steady_backpressure";
 
 }  // namespace flexnet_fixture

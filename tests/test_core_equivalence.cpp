@@ -115,6 +115,11 @@ TEST(CoreEquivalence, Fig9VcSelectionGoldenReportByteIdentical) {
                        "fig9_vc_selection.golden.json");
 }
 
+TEST(CoreEquivalence, Fig6FlowControlGoldenReportByteIdentical) {
+  check_against_golden("fig6_flow_control.json",
+                       "fig6_flow_control.golden.json");
+}
+
 // --- Credit-owner regression (Network::deliver).
 //
 // A credit travels the reverse channel of the link its packet used, and

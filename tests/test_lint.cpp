@@ -87,6 +87,23 @@ TEST(FlexnetLint, CleanFixturesPass) {
   }
 }
 
+TEST(FlexnetLint, FlowControlAxisRegistrationsAreChecked) {
+  // The L4 dead-registration rule covers the flow_control and buffer_mgmt
+  // registry families exactly like the four original ones.
+  const CmdResult broken = lint("--root " + fixture("l4_broken"));
+  EXPECT_EQ(broken.exit_code, 1) << broken.output;
+  EXPECT_NE(broken.output.find("dead_flow"), std::string::npos)
+      << broken.output;
+  EXPECT_NE(broken.output.find("dead_backpressure"), std::string::npos)
+      << broken.output;
+  EXPECT_NE(broken.output.find("src/buffers/dead_axis.cpp:6:"),
+            std::string::npos)
+      << "diagnostics must anchor the registration site\n" << broken.output;
+  EXPECT_NE(broken.output.find("src/buffers/dead_axis.cpp:11:"),
+            std::string::npos)
+      << broken.output;
+}
+
 TEST(FlexnetLint, RuleFilterRunsOnlySelectedRules) {
   // The L3-broken tree is clean under every other rule.
   const CmdResult r = lint("--root " + fixture("l3_broken") +
