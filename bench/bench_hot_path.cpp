@@ -42,13 +42,21 @@ struct Case {
   const char* policy;
   const char* vcs;
   const char* buffer_org;
+  const char* flow_control;
   double load;
 };
 
 constexpr Case kCases[] = {
-    {"baseline 2/1 load=0.05", "baseline", "2/1", "static", 0.05},
-    {"flexvc 4/2 load=0.60", "flexvc", "4/2", "static", 0.60},
-    {"flexvc 4/2 damq load=1.00", "flexvc", "4/2", "damq", 1.00},
+    {"baseline 2/1 load=0.05", "baseline", "2/1", "static", "packet", 0.05},
+    {"flexvc 4/2 load=0.60", "flexvc", "4/2", "static", "packet", 0.60},
+    {"flexvc 4/2 damq load=1.00", "flexvc", "4/2", "damq", "packet", 1.00},
+    // Loaded flit-level cases: the multi-phit engine exercises different
+    // hot paths (per-phit link events, VC re-binding under wormhole,
+    // whole-packet buffer claims under VCT), so the regression gate tracks
+    // them separately from the packet-mode saturation case.
+    {"flexvc 4/2 wormhole load=0.80", "flexvc", "4/2", "static", "wormhole",
+     0.80},
+    {"flexvc 4/2 damq vct load=1.00", "flexvc", "4/2", "damq", "vct", 1.00},
 };
 
 struct CaseResult {
@@ -63,6 +71,12 @@ struct CaseResult {
   double telemetry_overhead = 1.0;
   std::int64_t consumed = 0;
   std::int64_t grants = 0;
+  /// Revalidation passes on slots holding an already-committed request —
+  /// the allocator work that arbitration pruning exists to eliminate.
+  /// grants/consumed is the companion efficiency ratio: grants the engine
+  /// performed per packet actually delivered.
+  std::int64_t re_requests = 0;
+  double grants_per_consumed = 0.0;
 };
 
 double time_case(const Case& c, const SimConfig& base, Cycle cycles,
@@ -71,6 +85,7 @@ double time_case(const Case& c, const SimConfig& base, Cycle cycles,
   cfg.policy = c.policy;
   cfg.vcs = c.vcs;
   cfg.buffer_org = c.buffer_org;
+  cfg.flow_control = c.flow_control;
   cfg.load = c.load;
   Network net(cfg);
   net.set_telemetry_enabled(telemetry_on);  // pin: ignore the environment
@@ -82,6 +97,11 @@ double time_case(const Case& c, const SimConfig& base, Cycle cycles,
   if (out != nullptr) {
     out->consumed = net.metrics().consumed_packets();
     out->grants = net.total_grants();
+    out->re_requests = net.re_requests();
+    out->grants_per_consumed =
+        out->consumed > 0 ? static_cast<double>(out->grants) /
+                                static_cast<double>(out->consumed)
+                          : 0.0;
   }
   return secs > 0.0 ? static_cast<double>(cycles) / secs : 0.0;
 }
@@ -105,7 +125,7 @@ CaseResult run_case(const Case& c, const SimConfig& base, Cycle cycles) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--cycles N] [--json PATH] [--label L] "
-               "[key=value ...]\n",
+               "[--filter SUBSTR] [key=value ...]\n",
                argv0);
   return 2;
 }
@@ -116,6 +136,7 @@ int main(int argc, char** argv) {
   Cycle cycles = 30000;
   std::string json_path;
   std::string label;
+  std::string filter;  ///< substring filter over case names (profiling aid)
   std::vector<const char*> rest{argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string tok = argv[i];
@@ -137,6 +158,8 @@ int main(int argc, char** argv) {
       json_path = value;
     } else if (flag_value("label", &value)) {
       label = value;
+    } else if (flag_value("filter", &value)) {
+      filter = value;
     } else if (tok.rfind("--", 0) == 0) {
       return usage(argv[0]);
     } else {
@@ -151,23 +174,32 @@ int main(int argc, char** argv) {
               "per case\n",
               base.dragonfly.p, base.dragonfly.a, base.dragonfly.h,
               static_cast<long long>(cycles));
-  std::printf("%-28s %12s %10s %14s %14s %9s %10s %10s\n", "case", "cycles",
-              "wall_s", "cycles/sec", "cps(telem)", "overhead", "consumed",
-              "grants");
+  std::printf("%-30s %9s %8s %12s %12s %9s %9s %10s %11s %8s\n", "case",
+              "cycles", "wall_s", "cycles/sec", "cps(telem)", "overhead",
+              "consumed", "grants", "re_request", "g/cons");
 
   std::vector<CaseResult> results;
   double log_sum = 0.0;
   double telem_log_sum = 0.0;
   for (const Case& c : kCases) {
+    if (!filter.empty() && std::strstr(c.name, filter.c_str()) == nullptr)
+      continue;
     const CaseResult r = run_case(c, base, cycles);
-    std::printf("%-28s %12lld %10.3f %14.0f %14.0f %8.3fx %10lld %10lld\n",
-                r.name.c_str(), static_cast<long long>(r.cycles),
-                r.wall_seconds, r.cycles_per_sec, r.cycles_per_sec_telemetry,
-                r.telemetry_overhead, static_cast<long long>(r.consumed),
-                static_cast<long long>(r.grants));
+    std::printf(
+        "%-30s %9lld %8.3f %12.0f %12.0f %8.3fx %9lld %10lld %11lld %8.3f\n",
+        r.name.c_str(), static_cast<long long>(r.cycles), r.wall_seconds,
+        r.cycles_per_sec, r.cycles_per_sec_telemetry, r.telemetry_overhead,
+        static_cast<long long>(r.consumed),
+        static_cast<long long>(r.grants),
+        static_cast<long long>(r.re_requests), r.grants_per_consumed);
     log_sum += std::log(r.cycles_per_sec);
     telem_log_sum += std::log(r.telemetry_overhead);
     results.push_back(r);
+  }
+  if (results.empty()) {
+    std::fprintf(stderr, "error: --filter '%s' matched no case\n",
+                 filter.c_str());
+    return 2;
   }
   const double geomean =
       std::exp(log_sum / static_cast<double>(results.size()));
@@ -197,6 +229,10 @@ int main(int argc, char** argv) {
       c.set("consumed_packets",
             JsonValue::make_number(static_cast<double>(r.consumed)));
       c.set("grants", JsonValue::make_number(static_cast<double>(r.grants)));
+      c.set("re_requests",
+            JsonValue::make_number(static_cast<double>(r.re_requests)));
+      c.set("grants_per_consumed",
+            JsonValue::make_number(r.grants_per_consumed));
       cases.array.push_back(std::move(c));
     }
     doc.set("microbench", std::move(cases));

@@ -9,10 +9,11 @@
 // no pointer chasing, unlike the std::deque chunks it replaces.
 //
 // ActiveSet tracks which ids (links, routers) currently have pending work.
-// Membership is O(1) via a byte per id; iteration sorts the member list so
-// a sweep always visits ids in ascending order — the same order the old
-// full scans used, which is what keeps results bit-identical no matter in
-// which order work was discovered.
+// Membership is one bit per id; a sweep scans the words and visits set bits
+// low-to-high, so ids always come out in ascending order — the same order
+// the old full scans used, which is what keeps results bit-identical no
+// matter in which order work was discovered. The bitmap replaces an earlier
+// sorted-vector design whose per-sweep std::sort dominated sparse sweeps.
 #pragma once
 
 #include <algorithm>
@@ -84,43 +85,45 @@ class EventLane {
 class ActiveSet {
  public:
   void resize(std::size_t n) {
-    member_.assign(n, 0);
-    ids_.clear();
+    words_.assign((n + 63) / 64, 0);
+    size_ = 0;
   }
 
-  std::size_t size() const { return ids_.size(); }
+  std::size_t size() const { return size_; }
 
   /// Marks `id` active; idempotent.
   void add(std::int32_t id) {
-    if (member_[static_cast<std::size_t>(id)]) return;
-    member_[static_cast<std::size_t>(id)] = 1;
-    ids_.push_back(id);
+    std::uint64_t& w = words_[static_cast<std::size_t>(id) >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (id & 63);
+    size_ += static_cast<std::size_t>(!(w & bit));
+    w |= bit;
   }
 
   /// Visits every active id in ascending order. `work(id)` returns true to
   /// keep the id active, false to retire it. `work` must not add ids to
   /// *this* set (sets feed each other, never themselves — an addition
-  /// during its own sweep would invalidate the iteration).
+  /// during its own sweep would be visited or missed depending on where the
+  /// scan stands).
   template <typename WorkFn>
   void sweep(WorkFn&& work) {
-    std::sort(ids_.begin(), ids_.end());
-    const std::size_t n = ids_.size();
-    std::size_t kept = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::int32_t id = ids_[i];
-      FLEXNET_DCHECK(ids_.size() == n);
-      if (work(id)) {
-        ids_[kept++] = id;
-      } else {
-        member_[static_cast<std::size_t>(id)] = 0;
+    const std::size_t nw = words_.size();
+    for (std::size_t wi = 0; wi < nw; ++wi) {
+      std::uint64_t pend = words_[wi];
+      while (pend != 0) {
+        const int b = __builtin_ctzll(pend);
+        pend &= pend - 1;
+        const std::int32_t id = static_cast<std::int32_t>((wi << 6) + b);
+        if (!work(id)) {
+          words_[wi] &= ~(std::uint64_t{1} << b);
+          --size_;
+        }
       }
     }
-    ids_.resize(kept);
   }
 
  private:
-  std::vector<std::uint8_t> member_;
-  std::vector<std::int32_t> ids_;
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
 };
 
 }  // namespace flexnet

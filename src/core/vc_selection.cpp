@@ -25,44 +25,6 @@ const char* to_string(VcSelection s) {
   return "?";
 }
 
-int select_vc(VcSelection policy, const std::vector<VcCandidate>& cands,
-              const std::function<int(VcIndex)>& free_phits, int needed,
-              Rng& rng) {
-  int best = -1;
-  int best_free = -1;
-  int feasible_count = 0;
-  for (std::size_t i = 0; i < cands.size(); ++i) {
-    const int free = free_phits(cands[i].phys);
-    if (free < needed) continue;
-    ++feasible_count;
-    switch (policy) {
-      case VcSelection::kJsq:
-        // Ties break toward the lower template position: packets early in
-        // their path stay in low VCs, relegating the higher-index VCs to
-        // the later hops that have no alternative (SIII-A: this is what
-        // makes FlexVC "immune to congestion caused by excessive occupancy
-        // of a single buffer").
-        if (free > best_free) {
-          best = static_cast<int>(i);
-          best_free = free;
-        }
-        break;
-      case VcSelection::kHighest:
-        best = static_cast<int>(i);  // candidates are position-ascending
-        break;
-      case VcSelection::kLowest:
-        if (best < 0) best = static_cast<int>(i);
-        break;
-      case VcSelection::kRandom:
-        // Reservoir sampling over the feasible subset.
-        if (rng.next_below(static_cast<std::uint64_t>(feasible_count)) == 0)
-          best = static_cast<int>(i);
-        break;
-    }
-  }
-  return best;
-}
-
 FLEXNET_REGISTER_VC_SELECTION({
     "jsq",
     "join the shortest queue: most free phits downstream (paper's best)",

@@ -16,6 +16,11 @@ class MinimalRouting final : public RoutingAlgorithm {
              std::vector<RouteOption>& out) const override;
 
   HopSeq reference_path() const override;
+
+  /// Minimal options depend only on (router, destination) whenever the
+  /// topology's minimal first hop is unique; on topologies with minimal
+  /// alternatives route() draws the tie-break and must keep re-running.
+  bool draw_free() const override { return topo_.min_port_unique(); }
 };
 
 }  // namespace flexnet

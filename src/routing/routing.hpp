@@ -67,6 +67,16 @@ class RoutingAlgorithm {
   /// Per-cycle bookkeeping (Piggyback saturation recomputation).
   virtual void update(Cycle /*now*/) {}
 
+  /// True when route() is a pure function of (packet, router): no RNG
+  /// draws, no dependence on per-cycle routing state. The allocator may
+  /// then park a blocked *uncommitted* head on its blocking resource's
+  /// wake edges instead of re-running route() every cycle — the re-run
+  /// would return the same options and consume no randomness, so skipping
+  /// it is byte-identical. Adaptive and Valiant-based algorithms draw
+  /// from the router RNG (or read congestion state) per call and must
+  /// keep the default.
+  virtual bool draw_free() const { return false; }
+
   /// Worst-case reference path of this mechanism, used to validate that the
   /// configured VC arrangement supports it.
   virtual HopSeq reference_path() const = 0;

@@ -112,6 +112,7 @@ const KeySpec kKeySpecs[] = {
     {"adv_offset", SimConfig::KeyKind::kInt, apply_int<&SimConfig::adversarial_offset>},
     {"reply_queue", SimConfig::KeyKind::kInt, apply_int<&SimConfig::reply_queue_capacity>},
     {"packet_size", SimConfig::KeyKind::kInt, apply_int<&SimConfig::packet_size>},
+    {"sim_domains", SimConfig::KeyKind::kInt, apply_int<&SimConfig::sim_domains>},
     {"warmup", SimConfig::KeyKind::kInt, apply_cycle<&SimConfig::warmup>},
     {"measure", SimConfig::KeyKind::kInt, apply_cycle<&SimConfig::measure>},
     {"seed", SimConfig::KeyKind::kInt,
@@ -176,7 +177,8 @@ std::string SimConfig::canonical() const {
       << ";burst_length=" << hex(burst_length)
       << ";adv_offset=" << adversarial_offset
       << ";reply_queue=" << reply_queue_capacity
-      << ";packet_size=" << packet_size << ";warmup=" << warmup
+      << ";packet_size=" << packet_size
+      << ";sim_domains=" << sim_domains << ";warmup=" << warmup
       << ";measure=" << measure << ";seed=" << seed
       << ";watchdog=" << watchdog;
   return out.str();

@@ -75,6 +75,10 @@ struct SimConfig {
   int packet_size = 8;
 
   // --- Run control.
+  /// Deterministic intra-sim parallel domains Network::step sweeps with.
+  /// Purely an execution knob: results are byte-identical at any value
+  /// (tests/test_domains.cpp pins the no-perturb contract at {1,2,4}).
+  int sim_domains = 1;
   Cycle warmup = 10000;
   Cycle measure = 30000;
   std::uint64_t seed = 1;

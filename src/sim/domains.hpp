@@ -1,0 +1,60 @@
+// Deterministic intra-sim parallel domains: a fixed worker team that runs
+// one job per simulation phase, `fn(d)` for every domain d, and blocks the
+// caller until all domains finish (a full barrier between phases).
+//
+// The team is the *only* place the sim core touches thread primitives
+// (flexnet_lint L3 pins that: everything else under src/sim/ stays
+// thread-free), so the implementation hides behind a pimpl — including
+// this header pulls in no threading headers.
+//
+// Determinism contract: the team provides raw fork/join only. Byte-stable
+// results at any domain count come from how Network partitions state —
+// contiguous ascending router ranges per domain, single-writer phases, and
+// cross-domain effects staged per domain and merged in ascending domain
+// order at the barrier (see README "Engine architecture").
+#pragma once
+
+#include <functional>
+#include <memory>
+
+namespace flexnet {
+
+class DomainTeam {
+ public:
+  /// Spawns `domains - 1` workers (domain 0 runs on the caller). A team of
+  /// one spawns nothing and run() degenerates to a direct call.
+  explicit DomainTeam(int domains);
+  ~DomainTeam();
+
+  DomainTeam(const DomainTeam&) = delete;
+  DomainTeam& operator=(const DomainTeam&) = delete;
+
+  int domains() const { return domains_; }
+
+  /// Runs `fn(d)` for every domain d in [0, domains) — d = 0 on the
+  /// calling thread, the rest on the workers — and returns once all have
+  /// finished. The join synchronizes memory: writes made by any domain
+  /// before returning from fn are visible to every domain in the next run.
+  ///
+  /// A team of one calls `fn(0)` directly — no type erasure, no dispatch:
+  /// the serial engine pays nothing for the parallel plumbing (this runs
+  /// once per phase per cycle, so a std::function construction here is
+  /// hot-path cost).
+  template <typename Fn>
+  void run(Fn&& fn) {
+    if (impl_ == nullptr) {
+      fn(0);
+      return;
+    }
+    dispatch(std::function<void(int)>(std::forward<Fn>(fn)));
+  }
+
+ private:
+  void dispatch(const std::function<void(int)>& fn);
+
+  struct Impl;
+  int domains_;
+  std::unique_ptr<Impl> impl_;  ///< null for a team of one
+};
+
+}  // namespace flexnet

@@ -102,11 +102,6 @@ void Network::build() {
   int total_links = 0;
   int total_inputs = 0;
   int total_outputs = 0;
-  // Concentration is uniform, so the per-router maxima follow from the
-  // widest router's network port count.
-  const int max_inputs = topo_->max_network_ports() + inj_ports;
-  const int max_outputs =
-      topo_->max_network_ports() + inj_ports * kNumMsgClasses;
   for (RouterId r = 0; r < num_routers; ++r) {
     link_index_[static_cast<std::size_t>(r)] = total_links;
     in_index_[static_cast<std::size_t>(r)] = total_inputs;
@@ -174,6 +169,8 @@ void Network::build() {
 
     for (int i = 0; i < ports + inj_ports; ++i) {
       const int vcs = in_[static_cast<std::size_t>(input_at(r, i))].num_vcs();
+      // The armed-slot bitmask packs one bit per VC into a word.
+      FLEXNET_CHECK_MSG(vcs <= 64, "at most 64 VCs per input port");
       in_arb_.emplace_back(vcs);
       commit_index_.push_back(static_cast<int>(commits_.size()));
       commits_.resize(commits_.size() + static_cast<std::size_t>(vcs));
@@ -190,8 +187,8 @@ void Network::build() {
         n, config_, *pattern_, base.split(0x100000 + static_cast<std::uint64_t>(n))));
   }
 
-  // Active-set bookkeeping and hot-path scratch, sized from the real
-  // topology maxima (the allocator never resizes anything per cycle).
+  // Active-set bookkeeping and hot-path scratch, sized once here (the
+  // allocator never resizes anything per cycle).
   router_buffered_.assign(static_cast<std::size_t>(num_routers), 0);
   router_in_pipe_.assign(static_cast<std::size_t>(num_routers), 0);
   router_streaming_.assign(static_cast<std::size_t>(num_routers), 0);
@@ -199,12 +196,91 @@ void Network::build() {
     transit_.assign(static_cast<std::size_t>(total_links), TransitTail{});
     streams_.assign(static_cast<std::size_t>(total_links), LinkStream{});
   }
-  active_links_.resize(static_cast<std::size_t>(total_links));
-  alloc_routers_.resize(static_cast<std::size_t>(num_routers));
-  send_routers_.resize(static_cast<std::size_t>(num_routers));
-  scratch_requests_.resize(static_cast<std::size_t>(max_outputs));
-  in_matched_.assign(static_cast<std::size_t>(max_inputs), 0);
-  out_matched_.assign(static_cast<std::size_t>(max_outputs), 0);
+  requests_.assign(static_cast<std::size_t>(total_outputs), {});
+  in_matched_.assign(static_cast<std::size_t>(total_inputs), 0);
+  out_matched_.assign(static_cast<std::size_t>(total_outputs), 0);
+
+  // Pruned-arbitration state: everything starts disarmed/unsubscribed —
+  // the first injection or delivery arms its slot.
+  armed_.assign(static_cast<std::size_t>(total_inputs), 0);
+  router_armed_.assign(static_cast<std::size_t>(num_routers), 0);
+  wait_link_.assign(commits_.size(), -1);
+  link_waiters_.assign(static_cast<std::size_t>(total_links), {});
+
+  // Parallel domains: contiguous ascending router ranges so the ascending-
+  // domain merge of staged effects reproduces the serial ascending-router
+  // order exactly. sim_domains is an execution knob only — results are
+  // byte-identical at any value.
+  domains_ = std::max(1, std::min(config_.sim_domains, num_routers));
+  router_domain_.resize(static_cast<std::size_t>(num_routers));
+  for (int d = 0; d < domains_; ++d) {
+    const int begin = static_cast<int>(
+        static_cast<std::int64_t>(num_routers) * d / domains_);
+    const int end = static_cast<int>(
+        static_cast<std::int64_t>(num_routers) * (d + 1) / domains_);
+    for (RouterId r = begin; r < end; ++r)
+      router_domain_[static_cast<std::size_t>(r)] = d;
+  }
+  link_owner_.resize(static_cast<std::size_t>(total_links));
+  link_owner_domain_.resize(static_cast<std::size_t>(total_links));
+  link_to_domain_.resize(static_cast<std::size_t>(total_links));
+  for (RouterId r = 0; r < num_routers; ++r) {
+    for (PortIndex p = 0; p < topo_->num_network_ports(r); ++p) {
+      const auto li = static_cast<std::size_t>(link_at(r, p));
+      link_owner_[li] = r;
+      link_owner_domain_[li] = router_domain_[static_cast<std::size_t>(r)];
+      link_to_domain_[li] =
+          router_domain_[static_cast<std::size_t>(links_[li].to)];
+    }
+  }
+  data_links_.resize(static_cast<std::size_t>(domains_));
+  credit_links_.resize(static_cast<std::size_t>(domains_));
+  alloc_sets_.resize(static_cast<std::size_t>(domains_));
+  send_sets_.resize(static_cast<std::size_t>(domains_));
+  for (int d = 0; d < domains_; ++d) {
+    data_links_[static_cast<std::size_t>(d)].resize(
+        static_cast<std::size_t>(total_links));
+    credit_links_[static_cast<std::size_t>(d)].resize(
+        static_cast<std::size_t>(total_links));
+    alloc_sets_[static_cast<std::size_t>(d)].resize(
+        static_cast<std::size_t>(num_routers));
+    send_sets_[static_cast<std::size_t>(d)].resize(
+        static_cast<std::size_t>(num_routers));
+  }
+  scratch_.resize(static_cast<std::size_t>(domains_));
+  for (int d = 0; d < domains_; ++d)
+    scratch_[static_cast<std::size_t>(d)].domain = d;
+  team_ = std::make_unique<DomainTeam>(domains_);
+
+  // Ejection wake calendar: a consumption port blocks for exactly the
+  // packet's phit count, so the ring only needs to span the largest
+  // packet either config field can produce (plus a margin cycle).
+  input_router_.resize(static_cast<std::size_t>(total_inputs));
+  for (RouterId r = 0; r < num_routers; ++r) {
+    for (int gi = in_index_[static_cast<std::size_t>(r)];
+         gi < in_index_[static_cast<std::size_t>(r) + 1]; ++gi)
+      input_router_[static_cast<std::size_t>(gi)] = r;
+  }
+  wake_ring_ = std::max(config_.effective_packet_phits(),
+                        config_.packet_size) + 2;
+  port_masks_ok_ = true;
+  for (RouterId r = 0; r < num_routers; ++r) {
+    if (num_inputs(r) > 64 || net_ports(r) > 64) {
+      port_masks_ok_ = false;
+      break;
+    }
+  }
+  armed_inputs_.assign(static_cast<std::size_t>(num_routers), 0);
+  send_links_.assign(static_cast<std::size_t>(num_routers), 0);
+  // Blocked uncommitted heads may sleep only when re-running their VC
+  // allocation is pure: draw-free routing and a selection function that
+  // consumes no randomness (kRandom reservoir-samples per feasible VC).
+  fresh_prune_ok_ =
+      routing_->draw_free() && selection_ != VcSelection::kRandom;
+  eject_wake_.assign(
+      static_cast<std::size_t>(domains_),
+      std::vector<std::vector<std::int32_t>>(
+          static_cast<std::size_t>(wake_ring_)));
 
   // Telemetry: the registry is always shaped (cheap, one-time) so render()
   // and merge() work even when counting is off; updates happen only when
@@ -324,41 +400,67 @@ void Network::trace_packet(const Packet& pkt, PacketRef ref, Cycle now) const {
 }
 
 void Network::step(Cycle now) {
-  FLEXNET_TELEM(if (telem_.enabled()) {
-    telem_.on_step(static_cast<std::int64_t>(active_links_.size()),
-                   static_cast<std::int64_t>(alloc_routers_.size()),
-                   static_cast<std::int64_t>(send_routers_.size()),
-                   pool_.live());
-  });
-  deliver(now);
+  FLEXNET_TELEM(if (telem_.enabled())
+                    telem_.on_step(pending_lane_work(), pending_alloc_work(),
+                                   pending_send_work(), pool_.live()));
+  // Phases run one at a time across all domains with a full barrier in
+  // between (DomainTeam::run); staged cross-domain effects merge serially
+  // at the barrier. Data lanes are swept by receiver domain, credit lanes
+  // by owner domain, allocation and sending by the router's own domain —
+  // every array element has exactly one writer per phase.
+  team_->run([this, now](int d) { deliver_data(d, now); });
+  flush_lane_adds();  // cut-through credits may cross domains
+  team_->run([this, now](int d) { deliver_credits(d, now); });
   routing_->update(now);
   for (auto& node : nodes_) node->step(now, *this);
-  alloc_routers_.sweep([&](std::int32_t r) {
-    allocate(r, now);
-    return router_buffered_[static_cast<std::size_t>(r)] > 0;
+  team_->run([this, now](int d) {
+    DomainScratch& ds = scratch_[static_cast<std::size_t>(d)];
+    // Fire the ejection wakes due this cycle before sweeping: the slots
+    // they arm (and their routers) must arbitrate in this allocation pass.
+    auto& due = eject_wake_[static_cast<std::size_t>(d)][static_cast<
+        std::size_t>(now % static_cast<Cycle>(wake_ring_))];
+    for (const std::int32_t e : due) {
+      const int gi = e >> 6;
+      const RouterId r = input_router_[static_cast<std::size_t>(gi)];
+      arm_slot(r, gi, static_cast<VcIndex>(e & 63));
+      alloc_sets_[static_cast<std::size_t>(d)].add(r);
+    }
+    due.clear();
+    alloc_sets_[static_cast<std::size_t>(d)].sweep([&](std::int32_t r) {
+      allocate(r, now, ds);
+      return router_armed_[static_cast<std::size_t>(r)] > 0;
+    });
   });
-  send_routers_.sweep([&](std::int32_t r) {
-    send(r, now);
-    // An active link stream keeps the router sending even when the output
-    // pipelines drained — stalled body flits must retry every cycle.
-    return router_in_pipe_[static_cast<std::size_t>(r)] > 0 ||
-           router_streaming_[static_cast<std::size_t>(r)] > 0;
+  commit_allocate(now);
+  team_->run([this, now](int d) {
+    DomainScratch& ds = scratch_[static_cast<std::size_t>(d)];
+    send_sets_[static_cast<std::size_t>(d)].sweep([&](std::int32_t r) {
+      send(r, now, ds);
+      // An active link stream keeps the router sending even when the
+      // output pipelines drained — stalled body flits retry every cycle.
+      return router_in_pipe_[static_cast<std::size_t>(r)] > 0 ||
+             router_streaming_[static_cast<std::size_t>(r)] > 0;
+    });
   });
+  flush_lane_adds();  // sent data may land in another domain
 }
 
-void Network::deliver(Cycle now) {
-  active_links_.sweep([&](std::int32_t li) {
+void Network::deliver_data(int d, Cycle now) {
+  DomainScratch& ds = scratch_[static_cast<std::size_t>(d)];
+  data_links_[static_cast<std::size_t>(d)].sweep([&](std::int32_t li) {
     DirLink& link = links_[static_cast<std::size_t>(li)];
     while (!link.data.empty() && link.data.front().arrive <= now) {
       const FlyingPacket fp = link.data.front();
       link.data.pop_front();
+      const int gi = input_at(link.to, link.to_port);
       if (!flit_) {
-        in_[static_cast<std::size_t>(input_at(link.to, link.to_port))].push(
-            fp.vc, fp.ref, pool_[fp.ref].size);
+        in_[static_cast<std::size_t>(gi)].push(fp.vc, fp.ref,
+                                               pool_[fp.ref].size);
         FLEXNET_TELEM(if (telem_.enabled())
                           telem_.on_delivery(li, pool_[fp.ref].size));
         ++router_buffered_[static_cast<std::size_t>(link.to)];
-        alloc_routers_.add(link.to);
+        arm_slot(link.to, gi, fp.vc);
+        alloc_sets_[static_cast<std::size_t>(d)].add(link.to);
         continue;
       }
       // Flit-level flow control: one event per flit. The head claims a
@@ -369,19 +471,20 @@ void Network::deliver(Cycle now) {
       // advancing the outbound stream's availability count.
       FLEXNET_TELEM(if (telem_.enabled()) telem_.on_delivery(li, 1));
       if (fp.seq == 0) {
-        in_[static_cast<std::size_t>(input_at(link.to, link.to_port))].push(
-            fp.vc, fp.ref, 1);
+        in_[static_cast<std::size_t>(gi)].push(fp.vc, fp.ref, 1);
         ++router_buffered_[static_cast<std::size_t>(link.to)];
-        alloc_routers_.add(link.to);
+        arm_slot(link.to, gi, fp.vc);
+        alloc_sets_[static_cast<std::size_t>(d)].add(link.to);
         continue;
       }
       TransitTail& tail = transit_[static_cast<std::size_t>(li)];
       if (tail.ref == fp.ref && tail.remaining > 0) {
-        // The freed upstream slot travels back per flit; this link is
-        // already mid-sweep, so rely on the sweep's keep-alive return
-        // instead of ActiveSet::add.
+        // The freed upstream slot travels back per flit. The credit lane
+        // belongs to this link's owner domain, which sweeps it in the
+        // credits phase — route the lane-set addition there.
         link.credits.push_back(FlyingCredit{fp.vc, 1, tail.kind,
                                             now + link.latency});
+        add_credit_link(li, ds);
         --tail.remaining;
         if (tail.remaining == 0) tail = TransitTail{};
         FLEXNET_TELEM(if (telem_.enabled()) telem_.on_flit_transit(li));
@@ -389,23 +492,108 @@ void Network::deliver(Cycle now) {
       }
       // Body flit joining its buffered head. add_phit pins the no-
       // interleaving invariant: the flit must belong to the newest packet
-      // on its VC.
-      in_[static_cast<std::size_t>(input_at(link.to, link.to_port))]
-          .add_phit(fp.vc, fp.ref);
+      // on its VC. A head sleeping on its incomplete tail re-arms here —
+      // this is the arrival edge it waits for.
+      in_[static_cast<std::size_t>(gi)].add_phit(fp.vc, fp.ref);
+      if (in_[static_cast<std::size_t>(gi)].front(fp.vc) == fp.ref) {
+        arm_slot(link.to, gi, fp.vc);
+        alloc_sets_[static_cast<std::size_t>(d)].add(link.to);
+      }
     }
-    // Credits travel on the reverse channel back to the sender's ledger.
-    // Ledgers are link-indexed, so the owning ledger of link li *is*
-    // ledger_[li]: build() bakes the link→(owner, port) mapping into the
-    // flat index itself — no per-cycle owner-recovery scan.
+    return !link.data.empty();
+  });
+}
+
+void Network::deliver_credits(int d, Cycle now) {
+  // Credits travel on the reverse channel back to the sender's ledger.
+  // Ledgers are link-indexed, so the owning ledger of link li *is*
+  // ledger_[li]: build() bakes the link→(owner, port) mapping into the
+  // flat index itself — no per-cycle owner-recovery scan. Credits are
+  // pushed at least one cycle ahead of their arrival, so draining them in
+  // a separate phase after all data movement is byte-identical to the old
+  // per-link data-then-credits interleave.
+  credit_links_[static_cast<std::size_t>(d)].sweep([&](std::int32_t li) {
+    DirLink& link = links_[static_cast<std::size_t>(li)];
     CreditLedger& ledger = ledger_[static_cast<std::size_t>(li)];
+    bool drained = false;
     while (!link.credits.empty() && link.credits.front().arrive <= now) {
       const FlyingCredit& fc = link.credits.front();
       ledger.on_credit(fc.vc, fc.phits, fc.kind);
       FLEXNET_TELEM(if (telem_.enabled()) telem_.on_credit(li, fc.phits));
       link.credits.pop_front();
+      drained = true;
     }
-    return !link.data.empty() || !link.credits.empty();
+    // Ledger space only ever grows here — wake every slot sleeping on it.
+    if (drained) fire_waiters(link_owner_[static_cast<std::size_t>(li)], li);
+    return !link.credits.empty();
   });
+}
+
+void Network::fire_waiters(RouterId r, int li) {
+  auto& waiters = link_waiters_[static_cast<std::size_t>(li)];
+  if (waiters.empty()) return;
+  for (const std::int32_t e : waiters) {
+    const int gi = e >> 6;
+    const auto vc = static_cast<VcIndex>(e & 63);
+    wait_link_[static_cast<std::size_t>(
+        commit_index_[static_cast<std::size_t>(gi)] + vc)] = -1;
+    arm_slot(r, gi, vc);
+  }
+  waiters.clear();
+  alloc_sets_[static_cast<std::size_t>(
+                  router_domain_[static_cast<std::size_t>(r)])]
+      .add(r);
+}
+
+void Network::flush_lane_adds() {
+  // Ascending-domain merge of the cross-domain outboxes. Additions are
+  // idempotent and sweeps sort before visiting, so the merge order never
+  // shows in results — this loop only needs to be serial, not ordered.
+  for (int d = 0; d < domains_; ++d) {
+    DomainScratch& ds = scratch_[static_cast<std::size_t>(d)];
+    for (const std::int32_t li : ds.credit_adds)
+      credit_links_[static_cast<std::size_t>(
+                        link_owner_domain_[static_cast<std::size_t>(li)])]
+          .add(li);
+    ds.credit_adds.clear();
+    for (const std::int32_t li : ds.data_adds)
+      data_links_[static_cast<std::size_t>(
+                      link_to_domain_[static_cast<std::size_t>(li)])]
+          .add(li);
+    ds.data_adds.clear();
+  }
+}
+
+void Network::commit_allocate(Cycle now) {
+  // Barrier after the allocation phase: fold per-domain counters and apply
+  // the staged global consume effects in ascending domain order — over
+  // contiguous router ranges that is exactly the serial ascending-router
+  // grant order, so metrics accumulate in the same sequence (Welford means
+  // are floating-point-order sensitive) and pool slots free in the same
+  // LIFO order.
+  for (int d = 0; d < domains_; ++d) {
+    DomainScratch& ds = scratch_[static_cast<std::size_t>(d)];
+    if (ds.granted) {
+      last_grant_ = now;
+      ds.granted = false;
+    }
+    total_grants_ += ds.grants;
+    escape_grants_ += ds.escapes;
+    overflow_picks_ += ds.overflow;
+    lowest_picks_ += ds.lowest;
+    re_requests_ += ds.re_requests;
+    ds.grants = ds.escapes = ds.overflow = ds.lowest = ds.re_requests = 0;
+    for (const StagedConsume& sc : ds.consumed) {
+      const Packet& pkt = pool_[sc.ref];
+      if (trace_ != nullptr) trace_packet(pkt, sc.ref, now);
+      metrics_.on_consumed(pkt, sc.completion);
+      if (nodes_[static_cast<std::size_t>(pkt.dst)]->consume_spawns_reply(pkt))
+        metrics_.on_generated(config_.effective_packet_phits());
+      pool_.release(sc.ref);
+    }
+    ds.consumed.clear();
+  }
+  flush_lane_adds();  // grants push upstream credits across domains
 }
 
 bool Network::try_inject(NodeId n, Packet& pkt, Cycle now) {
@@ -444,18 +632,30 @@ bool Network::try_inject(NodeId n, Packet& pkt, Cycle now) {
       traces_.resize(static_cast<std::size_t>(ref) + 1);
     traces_[static_cast<std::size_t>(ref)].clear();
   }
+  // Every pool slot enters the network here (serial node phase), so
+  // growing the flit side store now keeps the parallel grant phase free of
+  // resizes.
+  if (flit_ && flit_src_link_.size() <= static_cast<std::size_t>(ref))
+    flit_src_link_.resize(static_cast<std::size_t>(ref) + 1, -1);
   buf.push(best, ref, pkt.size);
   FLEXNET_TELEM(if (telem_.enabled()) telem_.on_injection(r));
   ++router_buffered_[static_cast<std::size_t>(r)];
-  alloc_routers_.add(r);
+  arm_slot(r, input_at(r, ip), best);
+  alloc_sets_[static_cast<std::size_t>(
+                  router_domain_[static_cast<std::size_t>(r)])]
+      .add(r);
   return true;
 }
 
 bool Network::find_action(RouterId r, PortIndex ip, VcIndex vc, Cycle now,
-                          Request& req) {
-  InputBuffer& buf = in_[static_cast<std::size_t>(input_at(r, ip))];
+                          Request& req, DomainScratch& ds) {
+  const int gi = input_at(r, ip);
+  InputBuffer& buf = in_[static_cast<std::size_t>(gi)];
   const PacketRef href = buf.front(vc);
-  if (href == kInvalidPacketRef) return false;
+  if (href == kInvalidPacketRef) {
+    disarm_slot(r, gi, vc);  // re-armed by the next push on this slot
+    return false;
+  }
   const Packet& head = pool_[href];
   // Downstream phits a grant must see in the ledger: wormhole claims only
   // the head flit now (body flits claim one by one as they serialize);
@@ -464,55 +664,111 @@ bool Network::find_action(RouterId r, PortIndex ip, VcIndex vc, Cycle now,
       flow_control_ == FlowControl::kWormhole ? 1 : head.size;
 
   Commitment& commit = commits_[static_cast<std::size_t>(
-      commit_index_[static_cast<std::size_t>(input_at(r, ip))] + vc)];
+      commit_index_[static_cast<std::size_t>(gi)] + vc)];
 
-  const auto fill_request = [&](const Commitment& c, int output) {
+  // The proposal carries only the slot and output lane; grant() re-fetches
+  // the committed option from `commit`, which is immutable between this
+  // fill and the grant (both happen inside the same allocate pass).
+  const auto fill_request = [&](int output) {
     req.in_port = ip;
     req.in_vc = vc;
     req.output = output;
-    req.option = c.option;
-    req.out_vc = c.out_vc;
-    req.out_position = c.out_position;
+  };
+
+  // Puts the slot to sleep on its committed output link: disarmed until
+  // the link's next credit return or output-buffer departure fires the
+  // waiter list. wait_link_ dedupes the subscription (a safe commitment
+  // always re-sleeps on the same link, so one live entry suffices; a stale
+  // entry from a previous head fires a harmless idempotent re-arm).
+  const auto sleep_on_link = [&](int li) {
+    disarm_slot(r, gi, vc);
+    std::int32_t& wl = wait_link_[static_cast<std::size_t>(
+        commit_index_[static_cast<std::size_t>(gi)] + vc)];
+    if (wl != li) {
+      link_waiters_[static_cast<std::size_t>(li)].push_back(
+          (static_cast<std::int32_t>(gi) << 6) | vc);
+      wl = li;
+    }
   };
 
   // Revalidate an existing commitment (one-shot VC allocation: the packet
   // waits for the committed VC rather than hopping to whichever VC has
-  // credits this cycle).
+  // credits this cycle). Every entry here is a repeat arbitration attempt
+  // for an already-committed packet — the work pruning exists to remove.
   if (commit.pkt == head.id) {
+    ++ds.re_requests;
     if (commit.option.ejection) {
-      if (flit_ && buf.front_phits(vc) < head.size)
-        return false;  // tail still in flight: ejection waits for it
-      const int out = eject_output_index(
-          r, head.dst % topo_->concentration(), head.cls);
+      if (flit_ && buf.front_phits(vc) < head.size) {
+        disarm_slot(r, gi, vc);  // re-armed per arriving body flit
+        return false;
+      }
+      const int out =
+          output_index_[static_cast<std::size_t>(r)] +
+          eject_output_index(r, head.dst % topo_->concentration(), head.cls);
       if (out_matched_[static_cast<std::size_t>(out)]) return false;
       if (!nodes_[static_cast<std::size_t>(head.dst)]->can_consume(head.cls,
-                                                                   now))
-        return false;  // consumption is the safe sink: wait
-      fill_request(commit, out);
+                                                                   now)) {
+        // Consumption is the safe sink: wait. A port-busy block clears at
+        // a known cycle — park in the wake calendar instead of retrying;
+        // a reply-queue block (reactive) has no timer, so stay armed.
+        const Cycle free_at =
+            nodes_[static_cast<std::size_t>(head.dst)]->consume_free_at(
+                head.cls);
+        if (free_at > now) schedule_eject_wake(ds, r, gi, vc, free_at, now);
+        return false;
+      }
+      fill_request(out);
       return true;
     }
-    const auto li = static_cast<std::size_t>(link_at(r, commit.option.out_port));
+    const int li = link_at(r, commit.option.out_port);
+    const bool resource_ok =
+        out_[static_cast<std::size_t>(li)].can_reserve(head.size) &&
+        ledger_[static_cast<std::size_t>(li)].can_send(commit.out_vc,
+                                                       ledger_need);
     const bool feasible =
-        !out_matched_[static_cast<std::size_t>(commit.option.out_port)] &&
-        out_[li].can_reserve(head.size) &&
-        ledger_[li].can_send(commit.out_vc, ledger_need);
+        resource_ok &&
+        !out_matched_[static_cast<std::size_t>(
+            output_index_[static_cast<std::size_t>(r)] +
+            commit.option.out_port)];
     if (feasible) {
-      fill_request(commit, commit.option.out_port);
+      fill_request(output_index_[static_cast<std::size_t>(r)] +
+                   commit.option.out_port);
       return true;
     }
-    if (commit.safe) return false;  // wait on the safe commitment
+    if (commit.safe) {
+      // Downstream resources are only consumed for the rest of this
+      // allocate call, so a resource block holds until a credit returns or
+      // the output buffer drains — sleep on those edges. A block on the
+      // output being matched alone is transient: stay armed and retry.
+      if (!resource_ok) sleep_on_link(li);
+      return false;
+    }
     commit.pkt = -1;  // opportunistic window closed: re-allocate below
   }
 
-  // (Re)run VC allocation for the head packet.
-  scratch_options_.clear();
-  routing_->route(head, r, rng_[static_cast<std::size_t>(r)], scratch_options_);
-  for (const RouteOption& opt : scratch_options_) {
+  // (Re)run VC allocation for the head packet. When the routing algorithm
+  // is draw-free and VC selection consumes no randomness this whole pass
+  // is pure, so a fully blocked head can sleep on its blocking links'
+  // wake edges instead of re-routing every cycle; `transient` (blocked
+  // only by an output matched this pass) forces a retry, and any blocked
+  // option beyond the subscription buffer conservatively does the same.
+  bool transient = false;
+  int block_li[4];
+  int blocks = 0;
+  ds.options.clear();
+  routing_->route(head, r, rng_[static_cast<std::size_t>(r)], ds.options);
+  for (const RouteOption& opt : ds.options) {
     if (opt.ejection) {
-      if (flit_ && buf.front_phits(vc) < head.size)
-        return false;  // tail still in flight: ejection waits for it
-      const int out = eject_output_index(
-          r, head.dst % topo_->concentration(), head.cls);
+      if (flit_ && buf.front_phits(vc) < head.size) {
+        // No commitment yet: with a pure pass the head can sleep until
+        // its next body flit lands (add_phit re-arms the front slot);
+        // otherwise the retry must re-draw the routing RNG every cycle.
+        if (fresh_prune_ok_) disarm_slot(r, gi, vc);
+        return false;
+      }
+      const int out =
+          output_index_[static_cast<std::size_t>(r)] +
+          eject_output_index(r, head.dst % topo_->concentration(), head.cls);
       commit.pkt = head.id;
       commit.option = opt;
       commit.out_vc = kInvalidVc;
@@ -520,15 +776,22 @@ bool Network::find_action(RouterId r, PortIndex ip, VcIndex vc, Cycle now,
       commit.safe = true;
       if (out_matched_[static_cast<std::size_t>(out)]) return false;
       if (!nodes_[static_cast<std::size_t>(head.dst)]->can_consume(head.cls,
-                                                                   now))
+                                                                   now)) {
+        // Freshly committed (safe): revalidation is RNG-free from here on,
+        // so a port-busy block can park in the wake calendar too.
+        const Cycle free_at =
+            nodes_[static_cast<std::size_t>(head.dst)]->consume_free_at(
+                head.cls);
+        if (free_at > now) schedule_eject_wake(ds, r, gi, vc, free_at, now);
         return false;
-      fill_request(commit, out);
+      }
+      fill_request(out);
       return true;
     }
 
-    OutputUnit& ou = out_[static_cast<std::size_t>(link_at(r, opt.out_port))];
-    CreditLedger& ledger =
-        ledger_[static_cast<std::size_t>(link_at(r, opt.out_port))];
+    const int li = link_at(r, opt.out_port);
+    OutputUnit& ou = out_[static_cast<std::size_t>(li)];
+    CreditLedger& ledger = ledger_[static_cast<std::size_t>(li)];
 
     HopContext ctx;
     ctx.cls = head.cls;
@@ -537,35 +800,40 @@ bool Network::find_action(RouterId r, PortIndex ip, VcIndex vc, Cycle now,
     ctx.floors = {head.type_floors[0], head.type_floors[1]};
     ctx.intended_after = opt.intended_after;
     ctx.escape_after = opt.escape_after;
-    scratch_cands_.clear();
-    policy_->candidates(ctx, scratch_cands_);
-    if (scratch_cands_.empty()) continue;  // hop inadmissible: next option
+    ds.cands.clear();
+    policy_->candidates(ctx, ds.cands);
+    if (ds.cands.empty()) continue;  // hop inadmissible: next option
 
     // An on/off ledger signalling "stop" blocks the whole port (the
     // select_vc filter below only sees per-VC free space, so the
-    // port-level off bit must gate here).
+    // port-level off bit must gate here). The output-matched bit is kept
+    // apart from the resource conditions: it clears when this pass ends,
+    // while the others clear on link wake edges — the sleep decision
+    // below needs to know which kind blocked.
+    const bool out_is_matched = out_matched_[static_cast<std::size_t>(
+        output_index_[static_cast<std::size_t>(r)] + opt.out_port)];
     const bool output_free =
-        !out_matched_[static_cast<std::size_t>(opt.out_port)] &&
-        ou.can_reserve(head.size) &&
+        !out_is_matched && ou.can_reserve(head.size) &&
         !(ledger.on_off_enabled() && ledger.is_off());
     // Prefer a candidate that can move right now.
     if (output_free) {
       const int sel = select_vc(
-          selection_, scratch_cands_,
+          selection_, ds.cands,
           [&ledger](VcIndex v) { return ledger.free_for(v); }, ledger_need,
           rng_[static_cast<std::size_t>(r)]);
       if (sel >= 0) {
-        const VcCandidate& cand = scratch_cands_[static_cast<std::size_t>(sel)];
+        const VcCandidate& cand = ds.cands[static_cast<std::size_t>(sel)];
         commit.pkt = head.id;
         commit.option = opt;
         commit.out_vc = cand.phys;
         commit.out_position = cand.position;
         commit.safe = cand.safe;
-        fill_request(commit, opt.out_port);
-        if (cand.position > scratch_cands_.front().position)
-          ++overflow_picks_;
+        fill_request(output_index_[static_cast<std::size_t>(r)] +
+                     opt.out_port);
+        if (cand.position > ds.cands.front().position)
+          ++ds.overflow;
         else
-          ++lowest_picks_;
+          ++ds.lowest;
         return true;
       }
     }
@@ -574,107 +842,236 @@ bool Network::find_action(RouterId r, PortIndex ip, VcIndex vc, Cycle now,
     // credits return first by the template-order induction, and the choice
     // preserving the most headroom for the remaining hops.
     int best = -1;
-    for (std::size_t i = 0; i < scratch_cands_.size(); ++i) {
-      if (scratch_cands_[i].safe) {
+    for (std::size_t i = 0; i < ds.cands.size(); ++i) {
+      if (ds.cands[i].safe) {
         best = static_cast<int>(i);
         break;
       }
     }
     if (best >= 0) {
-      const VcCandidate& cand = scratch_cands_[static_cast<std::size_t>(best)];
+      const VcCandidate& cand = ds.cands[static_cast<std::size_t>(best)];
       commit.pkt = head.id;
       commit.option = opt;
       commit.out_vc = cand.phys;
       commit.out_position = cand.position;
       commit.safe = true;
-      return false;  // wait for the committed VC's credits
+      // Wait for the committed VC's credits. A safe commitment is
+      // revalidated without RNG from here on, so when the block is on
+      // downstream resources the slot can sleep on the link's wake edges;
+      // if only the output is matched this pass, retry (next pass may
+      // grant it).
+      if (!ou.can_reserve(head.size) ||
+          !ledger.can_send(commit.out_vc, ledger_need))
+        sleep_on_link(li);
+      return false;
     }
     // Only opportunistic candidates and none movable: fall through to the
     // escape option (SIII-A: "packets revert to the corresponding safe
-    // path as an escape path").
+    // path as an escape path"). Record why this option is stuck so the
+    // exhausted-loop exit can sleep a pure head on the right edges: a
+    // matched output clears at end of pass (transient — retry); anything
+    // else (output buffer full, on/off stop, credit starvation) clears on
+    // this link's waiter-firing edges.
+    if (out_is_matched) {
+      transient = true;
+    } else if (blocks < 4) {
+      block_li[blocks++] = li;
+    } else {
+      transient = true;  // subscription buffer full: stay armed
+    }
+  }
+  if (fresh_prune_ok_ && !transient) {
+    // Every option is blocked on link-edge resources (or statically
+    // inadmissible — candidates depend only on the packet and option, so
+    // those can never come back): sleep until a blocking link fires.
+    // With several blocked links the slot subscribes to each; wait_link_
+    // can dedupe only one of them, and the resulting stale entries fire
+    // harmless idempotent re-arms.
+    disarm_slot(r, gi, vc);
+    std::int32_t& wl = wait_link_[static_cast<std::size_t>(
+        commit_index_[static_cast<std::size_t>(gi)] + vc)];
+    for (int i = 0; i < blocks; ++i) {
+      if (wl == block_li[i]) continue;
+      link_waiters_[static_cast<std::size_t>(block_li[i])].push_back(
+          (static_cast<std::int32_t>(gi) << 6) | vc);
+    }
+    if (blocks > 0) wl = block_li[blocks - 1];
+  }
+  return false;  // armed unless pruned: a re-run may re-draw routing RNG
+}
+
+bool Network::stage1_pick(RouterId r, PortIndex ip, Cycle now, Request& req,
+                          DomainScratch& ds) {
+  const int gi = input_at(r, ip);
+  if (armed_[static_cast<std::size_t>(gi)] == 0) return false;
+  RoundRobinArbiter& arb = in_arb_[static_cast<std::size_t>(gi)];
+  const int width = arb.width();
+  const int ptr = arb.pointer();
+  for (int i = 0; i < width; ++i) {
+    const VcIndex vc = static_cast<VcIndex>((ptr + i) % width);
+    // Disarmed slots are exactly those whose find_action would return
+    // false with no side effects and no RNG draw — skipping them is
+    // byte-identical to evaluating them.
+    if ((armed_[static_cast<std::size_t>(gi)] >> vc & 1) == 0) continue;
+    if (find_action(r, ip, vc, now, req, ds)) return true;
   }
   return false;
 }
 
-bool Network::stage1_pick(RouterId r, PortIndex ip, Cycle now, Request& req) {
-  RoundRobinArbiter& arb =
-      in_arb_[static_cast<std::size_t>(input_at(r, ip))];
-  for (int i = 0; i < arb.width(); ++i) {
-    const VcIndex vc = static_cast<VcIndex>((arb.pointer() + i) % arb.width());
-    if (find_action(r, ip, vc, now, req)) return true;
-  }
-  return false;
-}
+void Network::allocate(RouterId r, Cycle now, DomainScratch& ds) {
+  // Pruning fast-path: a router whose every input slot is asleep would run
+  // stage 1 to completion with zero proposals and zero side effects.
+  if (router_armed_[static_cast<std::size_t>(r)] == 0) return;
+  const int in0 = in_index_[static_cast<std::size_t>(r)];
+  const int inputs = in_index_[static_cast<std::size_t>(r) + 1] - in0;
+  const int out0 = output_index_[static_cast<std::size_t>(r)];
+  const int outputs = output_index_[static_cast<std::size_t>(r) + 1] - out0;
+  const int speedup = config_.speedup;
+  const int alloc_iters = config_.alloc_iters;
 
-void Network::allocate(RouterId r, Cycle now) {
-  const int inputs = num_inputs(r);
-  const int outputs = output_index_[static_cast<std::size_t>(r) + 1] -
-                      output_index_[static_cast<std::size_t>(r)];
-
-  for (int pass = 0; pass < config_.speedup; ++pass) {
-    std::fill_n(in_matched_.begin(), inputs, static_cast<char>(0));
-    std::fill_n(out_matched_.begin(), outputs, static_cast<char>(0));
-    for (int iter = 0; iter < config_.alloc_iters; ++iter) {
-      for (int o = 0; o < outputs; ++o)
-        scratch_requests_[static_cast<std::size_t>(o)].clear();
-      bool any = false;
+  for (int pass = 0; pass < speedup; ++pass) {
+    std::uint64_t matched_in = 0;
+    // Inputs whose only armed slot lost to an output already matched this
+    // pass: their re-evaluation in later iterations would take the
+    // revalidation path straight to the matched-output exit — no proposal,
+    // no side effects, no RNG — so the scan skips them. Cleared with the
+    // matched bits when the next pass resets out_matched_.
+    std::uint64_t lost_in = 0;
+    if (!port_masks_ok_)
+      std::fill_n(in_matched_.begin() + in0, inputs, static_cast<char>(0));
+    std::fill_n(out_matched_.begin() + out0, outputs, static_cast<char>(0));
+    // With a pure allocation pass (draw-free routing, draw-free VC
+    // selection) every blocking condition is monotone while the pass
+    // runs: outputs only get matched, buffers only fill, credits only
+    // drain. An input that failed to propose in one iteration therefore
+    // cannot propose in a later one — only the iteration's *losers*
+    // (proposed, not granted) remain contenders, and later iterations
+    // scan exactly those. Impure configurations re-scan everything: a
+    // blocked fresh head re-draws routing RNG per evaluation, and
+    // byte-equality pins that stream.
+    std::uint64_t retry = ~std::uint64_t{0};
+    for (int iter = 0; iter < alloc_iters; ++iter) {
       // Stage 1: every unmatched input proposes one (VC, option, output).
-      for (PortIndex ip = 0; ip < inputs; ++ip) {
-        if (in_matched_[static_cast<std::size_t>(ip)]) continue;
-        Request req;
-        if (stage1_pick(r, ip, now, req)) {
-          scratch_requests_[static_cast<std::size_t>(req.output)].push_back(req);
-          any = true;
-        }
-      }
-      if (!any) break;
-      // Stage 2: every requested output grants one input (round-robin).
-      for (int o = 0; o < outputs; ++o) {
-        auto& reqs = scratch_requests_[static_cast<std::size_t>(o)];
-        if (reqs.empty() || out_matched_[static_cast<std::size_t>(o)])
-          continue;
-        RoundRobinArbiter& arb = out_arb_[static_cast<std::size_t>(
-            output_index_[static_cast<std::size_t>(r)] + o)];
-        const Request* chosen = nullptr;
-        int best_rank = inputs;
-        for (const Request& req : reqs) {
-          const int rank = (req.in_port - arb.pointer() + inputs) % inputs;
-          if (rank < best_rank) {
-            best_rank = rank;
-            chosen = &req;
+      // Requests batch into persistent per-output lanes; `touched` tracks
+      // which lanes are live so stage 2 visits only those (in ascending
+      // output order, matching the dense o-loop it replaces). With port
+      // masks the scan walks only the armed unmatched inputs, lowest
+      // first — the same ascending port order as the dense loop.
+      ds.touched.clear();
+      std::uint64_t proposed = 0;
+      if (port_masks_ok_) {
+        std::uint64_t pend = armed_inputs_[static_cast<std::size_t>(r)] &
+                             ~matched_in & ~lost_in;
+        if (fresh_prune_ok_ && iter > 0) pend &= retry;
+        while (pend != 0) {
+          const auto ip = static_cast<PortIndex>(__builtin_ctzll(pend));
+          pend &= pend - 1;
+          Request req;
+          if (stage1_pick(r, ip, now, req, ds)) {
+            auto& lane = requests_[static_cast<std::size_t>(req.output)];
+            if (lane.empty())
+              ds.touched.push_back(static_cast<std::int32_t>(req.output));
+            lane.push_back(req);
+            proposed |= std::uint64_t{1} << ip;
           }
         }
-        grant(r, *chosen, now);
-        // Allocator contention: every proposal this output saw is a
-        // request; all but the granted one are conflicts (a proposal never
-        // targets an already-matched output, so requests = grants +
-        // conflicts).
-        FLEXNET_TELEM(if (telem_.enabled()) {
-          telem_.on_requests(r, static_cast<int>(reqs.size()));
-          telem_.on_conflicts(r, static_cast<int>(reqs.size()) - 1);
-        });
-        in_matched_[static_cast<std::size_t>(chosen->in_port)] = true;
-        out_matched_[static_cast<std::size_t>(o)] = true;
-        in_arb_[static_cast<std::size_t>(input_at(r, chosen->in_port))]
-            .advance_past(chosen->in_vc);
-        arb.advance_past(chosen->in_port);
+      } else {
+        for (PortIndex ip = 0; ip < inputs; ++ip) {
+          if (in_matched_[static_cast<std::size_t>(in0 + ip)]) continue;
+          Request req;
+          if (stage1_pick(r, ip, now, req, ds)) {
+            auto& lane = requests_[static_cast<std::size_t>(req.output)];
+            if (lane.empty())
+              ds.touched.push_back(static_cast<std::int32_t>(req.output));
+            lane.push_back(req);
+          }
+        }
       }
+      if (ds.touched.empty()) break;
+      std::sort(ds.touched.begin(), ds.touched.end());
+      // Stage 2: every requested output grants one input (round-robin).
+      for (const std::int32_t o : ds.touched) {
+        auto& reqs = requests_[static_cast<std::size_t>(o)];
+        if (!out_matched_[static_cast<std::size_t>(o)]) {
+          RoundRobinArbiter& arb = out_arb_[static_cast<std::size_t>(o)];
+          const Request* chosen = nullptr;
+          int best_rank = inputs;
+          for (const Request& req : reqs) {
+            const int rank = (req.in_port - arb.pointer() + inputs) % inputs;
+            if (rank < best_rank) {
+              best_rank = rank;
+              chosen = &req;
+            }
+          }
+          grant(r, *chosen, now, ds);
+          // Allocator contention: every proposal this output saw is a
+          // request; all but the granted one are conflicts (a proposal never
+          // targets an already-matched output, so requests = grants +
+          // conflicts).
+          FLEXNET_TELEM(if (telem_.enabled()) {
+            telem_.on_requests(r, static_cast<int>(reqs.size()));
+            telem_.on_conflicts(r, static_cast<int>(reqs.size()) - 1);
+          });
+          if (port_masks_ok_) {
+            matched_in |= std::uint64_t{1} << chosen->in_port;
+            if (iter + 1 < alloc_iters) {
+              // A loser re-scanned next iteration finds its committed
+              // output matched and returns without proposing. That exit
+              // is silent only for a *safe* commitment held by the
+              // input's sole armed slot (an unsafe one re-allocates —
+              // possibly drawing routing RNG — and other armed VCs on
+              // the input still deserve their scan), so exactly those
+              // inputs drop out of the remaining iterations.
+              for (const Request& q : reqs) {
+                if (&q == chosen) continue;
+                const int lgi = input_at(r, q.in_port);
+                if (armed_[static_cast<std::size_t>(lgi)] !=
+                    std::uint64_t{1} << q.in_vc)
+                  continue;
+                const Commitment& lc = commits_[static_cast<std::size_t>(
+                    commit_index_[static_cast<std::size_t>(lgi)] + q.in_vc)];
+                if (lc.safe)
+                  lost_in |= std::uint64_t{1} << q.in_port;
+              }
+            }
+          }
+          else
+            in_matched_[static_cast<std::size_t>(in0 + chosen->in_port)] =
+                true;
+          out_matched_[static_cast<std::size_t>(o)] = true;
+          in_arb_[static_cast<std::size_t>(input_at(r, chosen->in_port))]
+              .advance_past(chosen->in_vc);
+          arb.advance_past(chosen->in_port);
+        }
+        reqs.clear();
+      }
+      retry = proposed & ~matched_in;  // this iteration's losers
     }
   }
 }
 
-void Network::grant(RouterId r, const Request& req, Cycle now) {
-  const BufferSlot slot =
-      in_[static_cast<std::size_t>(input_at(r, req.in_port))].pop(req.in_vc);
+void Network::grant(RouterId r, const Request& req, Cycle now,
+                    DomainScratch& ds) {
+  const int gi = input_at(r, req.in_port);
+  // The proposal names only the slot; the option and VC granted are those
+  // the slot committed to when it proposed (immutable since: commitments
+  // only change inside find_action for this same slot).
+  const Commitment& cmt = commits_[static_cast<std::size_t>(
+      commit_index_[static_cast<std::size_t>(gi)] + req.in_vc)];
+  const BufferSlot slot = in_[static_cast<std::size_t>(gi)].pop(req.in_vc);
   --router_buffered_[static_cast<std::size_t>(r)];
   Packet& pkt = pool_[slot.ref];
-  last_grant_ = now;
-  ++total_grants_;
+  ds.granted = true;
+  ++ds.grants;
   FLEXNET_TELEM(if (telem_.enabled()) telem_.on_grant(r));
-  if (req.option.is_escape && pkt.valiant != kInvalidRouter &&
+  if (cmt.option.is_escape && pkt.valiant != kInvalidRouter &&
       !pkt.valiant_reached) {
-    ++escape_grants_;
+    ++ds.escapes;
   }
+  // The VC's next head (if any) carries a fresh, uncommitted packet that
+  // must arbitrate; an emptied VC sleeps until the next push.
+  if (in_[static_cast<std::size_t>(gi)].front(req.in_vc) == kInvalidPacketRef)
+    disarm_slot(r, gi, req.in_vc);
 
   // Return the freed space upstream (network input ports only; injection
   // buffers are observed directly by the node). Under flit-level flow
@@ -688,7 +1085,7 @@ void Network::grant(RouterId r, const Request& req, Cycle now) {
     DirLink& upstream = links_[static_cast<std::size_t>(uli)];
     upstream.credits.push_back(FlyingCredit{
         req.in_vc, slot.phits, pkt.credited_kind, now + upstream.latency});
-    active_links_.add(uli);
+    add_credit_link(uli, ds);
     if (flit_ && slot.phits < pkt.size) {
       TransitTail& tail = transit_[static_cast<std::size_t>(uli)];
       FLEXNET_CHECK(tail.ref == kInvalidPacketRef);
@@ -696,39 +1093,45 @@ void Network::grant(RouterId r, const Request& req, Cycle now) {
                          pkt.credited_kind};
     }
   }
-  if (flit_ && !req.option.ejection) {
+  if (flit_ && !cmt.option.ejection) {
     // Where the outbound stream finds this packet's TransitTail (or -1:
     // fully arrived / injected — injection buffers hold whole packets).
     const bool in_flight =
         req.in_port < net_ports(r) && slot.phits < pkt.size;
     const PortDesc* desc =
         in_flight ? &topo_->port(r, req.in_port) : nullptr;
-    if (flit_src_link_.size() <= static_cast<std::size_t>(slot.ref))
-      flit_src_link_.resize(static_cast<std::size_t>(slot.ref) + 1, -1);
+    // flit_src_link_ was presized at injection (every ref is injected
+    // before it can be granted), so this is a plain store — no resize
+    // racing with concurrent domains.
     flit_src_link_[static_cast<std::size_t>(slot.ref)] =
         in_flight ? link_at(desc->neighbor, desc->neighbor_port) : -1;
   }
 
-  if (req.option.ejection) {
-    if (trace_ != nullptr) trace_packet(pkt, slot.ref, now);
-    nodes_[static_cast<std::size_t>(pkt.dst)]->consume(pkt, now, *this);
-    pool_.release(slot.ref);
+  if (cmt.option.ejection) {
+    // Node-local effects apply now (the destination node belongs to this
+    // router, hence this domain); global effects — trace, metrics, reply
+    // generation accounting, pool release — are staged and flushed in
+    // ascending-domain (= ascending-router) order at commit_allocate so
+    // parallel domains reproduce the serial order byte for byte.
+    const Cycle completion =
+        nodes_[static_cast<std::size_t>(pkt.dst)]->consume(pkt, now);
+    ds.consumed.push_back(StagedConsume{slot.ref, completion});
     return;
   }
 
-  pkt.route_kind = req.option.kind_after;
+  pkt.route_kind = cmt.option.kind_after;
   pkt.credited_kind = pkt.route_kind;
-  pkt.valiant = req.option.valiant_after;
-  pkt.valiant_reached = req.option.valiant_reached_after;
-  pkt.vc_position = req.out_position;
+  pkt.valiant = cmt.option.valiant_after;
+  pkt.valiant_reached = cmt.option.valiant_reached_after;
+  pkt.vc_position = cmt.out_position;
   {
     const VcTemplate& tmpl = policy_->tmpl();
-    const LinkType t = tmpl.at(req.out_position).type;
+    const LinkType t = tmpl.at(cmt.out_position).type;
     pkt.type_floors[static_cast<int>(t)] =
-        static_cast<std::int16_t>(req.out_position);
+        static_cast<std::int16_t>(cmt.out_position);
   }
   ++pkt.hops;
-  const int li = link_at(r, req.option.out_port);
+  const int li = link_at(r, cmt.option.out_port);
   if (record_routes_)
     traces_[static_cast<std::size_t>(slot.ref)].push_back(
         static_cast<std::int16_t>(links_[static_cast<std::size_t>(li)].to));
@@ -737,97 +1140,121 @@ void Network::grant(RouterId r, const Request& req, Cycle now) {
   // mode claim the whole packet here.
   const int claim =
       flow_control_ == FlowControl::kWormhole ? 1 : pkt.size;
-  ledger_[static_cast<std::size_t>(li)].on_send(req.out_vc, claim,
+  ledger_[static_cast<std::size_t>(li)].on_send(cmt.out_vc, claim,
                                                 pkt.route_kind);
   FLEXNET_TELEM(if (telem_.enabled()) {
     // Occupancy is sampled *after* the send lands in the ledger, so the
     // sum divided by sends gives mean sender-side occupancy at send time.
     const CreditLedger& lg = ledger_[static_cast<std::size_t>(li)];
-    telem_.on_send(li, req.out_vc, claim, lg.occupied(req.out_vc),
+    telem_.on_send(li, cmt.out_vc, claim, lg.occupied(cmt.out_vc),
                    lg.occupied_port());
   });
-  out_[static_cast<std::size_t>(li)].accept(slot.ref, pkt.size, req.out_vc,
+  out_[static_cast<std::size_t>(li)].accept(slot.ref, pkt.size, cmt.out_vc,
                                             now);
+  if (port_masks_ok_)
+    send_links_[static_cast<std::size_t>(r)] |= std::uint64_t{1}
+                                                << cmt.option.out_port;
   ++router_in_pipe_[static_cast<std::size_t>(r)];
-  send_routers_.add(r);
+  send_sets_[static_cast<std::size_t>(ds.domain)].add(r);
 }
 
-void Network::send(RouterId r, Cycle now) {
+void Network::send(RouterId r, Cycle now, DomainScratch& ds) {
   const int li0 = link_index_[static_cast<std::size_t>(r)];
-  const int li1 = link_index_[static_cast<std::size_t>(r) + 1];
-  for (int li = li0; li < li1; ++li) {
-    OutputUnit& ou = out_[static_cast<std::size_t>(li)];
-    if (!flit_) {
-      if (!ou.ready_to_send(now)) continue;
-      VcIndex vc = kInvalidVc;
-      const PacketRef ref = ou.start_send(now, vc);
-      DirLink& link = links_[static_cast<std::size_t>(li)];
-      // The packet is eligible downstream one cycle after its head
-      // arrives; its phits keep streaming behind it.
-      link.data.push_back(FlyingPacket{ref, vc, now + link.latency + 1, 0});
-      active_links_.add(li);
-      --router_in_pipe_[static_cast<std::size_t>(r)];
-      continue;
+  if (port_masks_ok_) {
+    // Visit only the links with queued or streaming work, ascending —
+    // the same order as the full scan, which only adds no-op iterations.
+    std::uint64_t pend = send_links_[static_cast<std::size_t>(r)];
+    std::uint64_t still = 0;
+    while (pend != 0) {
+      const int o = __builtin_ctzll(pend);
+      pend &= pend - 1;
+      if (send_link(r, li0 + o, now, ds)) still |= std::uint64_t{1} << o;
     }
-    // Flit-level flow control: the link serializes one packet at a time,
-    // one flit per cycle. The head flit leaves the cycle the stream
-    // starts — the same cycle packet mode pushes its single event — so
-    // with one-flit packets the two paths emit identical link events.
-    LinkStream& st = streams_[static_cast<std::size_t>(li)];
-    if (st.ref == kInvalidPacketRef) {
-      if (!ou.ready_to_send(now)) continue;
-      VcIndex vc = kInvalidVc;
-      const PacketRef ref = ou.start_send(now, vc);
-      --router_in_pipe_[static_cast<std::size_t>(r)];
-      const Packet& pkt = pool_[ref];
-      st.ref = ref;
-      st.vc = vc;
-      st.next = 0;
-      st.total = pkt.size;
-      st.in_link = static_cast<std::size_t>(ref) < flit_src_link_.size()
-                       ? flit_src_link_[static_cast<std::size_t>(ref)]
-                       : -1;
-      // Captured now: a later grant downstream rewrites pkt.route_kind
-      // while body flits are still claiming space at this ledger.
-      st.kind = pkt.route_kind;
-      ++router_streaming_[static_cast<std::size_t>(r)];
-    }
-    // Availability: a flit can only leave once it has arrived here. The
-    // TransitTail on the inbound link counts the flits still in flight.
-    int arrived = st.total;
-    if (st.in_link >= 0) {
-      const TransitTail& tail =
-          transit_[static_cast<std::size_t>(st.in_link)];
-      if (tail.ref == st.ref)
-        arrived = st.total - tail.remaining;
-      else
-        st.in_link = -1;  // tail fully arrived; stop consulting
-    }
-    if (st.next >= arrived) {
-      FLEXNET_TELEM(if (telem_.enabled()) telem_.on_flit_stall(li));
-      continue;  // wait for the tail to catch up
-    }
-    if (flow_control_ == FlowControl::kWormhole && st.next > 0) {
-      // Body flits claim downstream space one at a time; a full buffer
-      // (or an off backpressure bit) stalls the stream in place.
-      CreditLedger& ledger = ledger_[static_cast<std::size_t>(li)];
-      if (!ledger.can_send(st.vc, 1)) {
-        FLEXNET_TELEM(if (telem_.enabled()) telem_.on_flit_stall(li));
-        continue;
-      }
-      ledger.on_send(st.vc, 1, st.kind);
-    }
-    DirLink& link = links_[static_cast<std::size_t>(li)];
-    link.data.push_back(
-        FlyingPacket{st.ref, st.vc, now + link.latency + 1, st.next});
-    active_links_.add(li);
-    FLEXNET_TELEM(if (telem_.enabled()) telem_.on_flit(li));
-    ++st.next;
-    if (st.next == st.total) {
-      st = LinkStream{};
-      --router_streaming_[static_cast<std::size_t>(r)];
-    }
+    send_links_[static_cast<std::size_t>(r)] = still;
+    return;
   }
+  const int li1 = link_index_[static_cast<std::size_t>(r) + 1];
+  for (int li = li0; li < li1; ++li) send_link(r, li, now, ds);
+}
+
+bool Network::send_link(RouterId r, int li, Cycle now, DomainScratch& ds) {
+  OutputUnit& ou = out_[static_cast<std::size_t>(li)];
+  if (!flit_) {
+    if (!ou.ready_to_send(now)) return !ou.idle();
+    VcIndex vc = kInvalidVc;
+    const PacketRef ref = ou.start_send(now, vc);
+    // The departure freed output-buffer space: wake the slots sleeping
+    // on this link's can_reserve edge.
+    fire_waiters(r, li);
+    DirLink& link = links_[static_cast<std::size_t>(li)];
+    // The packet is eligible downstream one cycle after its head
+    // arrives; its phits keep streaming behind it.
+    link.data.push_back(FlyingPacket{ref, vc, now + link.latency + 1, 0});
+    add_data_link(li, ds);
+    --router_in_pipe_[static_cast<std::size_t>(r)];
+    return !ou.idle();
+  }
+  // Flit-level flow control: the link serializes one packet at a time,
+  // one flit per cycle. The head flit leaves the cycle the stream
+  // starts — the same cycle packet mode pushes its single event — so
+  // with one-flit packets the two paths emit identical link events.
+  LinkStream& st = streams_[static_cast<std::size_t>(li)];
+  if (st.ref == kInvalidPacketRef) {
+    if (!ou.ready_to_send(now)) return !ou.idle();
+    VcIndex vc = kInvalidVc;
+    const PacketRef ref = ou.start_send(now, vc);
+    fire_waiters(r, li);
+    --router_in_pipe_[static_cast<std::size_t>(r)];
+    const Packet& pkt = pool_[ref];
+    st.ref = ref;
+    st.vc = vc;
+    st.next = 0;
+    st.total = pkt.size;
+    st.in_link = static_cast<std::size_t>(ref) < flit_src_link_.size()
+                     ? flit_src_link_[static_cast<std::size_t>(ref)]
+                     : -1;
+    // Captured now: a later grant downstream rewrites pkt.route_kind
+    // while body flits are still claiming space at this ledger.
+    st.kind = pkt.route_kind;
+    ++router_streaming_[static_cast<std::size_t>(r)];
+  }
+  // Availability: a flit can only leave once it has arrived here. The
+  // TransitTail on the inbound link counts the flits still in flight.
+  int arrived = st.total;
+  if (st.in_link >= 0) {
+    const TransitTail& tail =
+        transit_[static_cast<std::size_t>(st.in_link)];
+    if (tail.ref == st.ref)
+      arrived = st.total - tail.remaining;
+    else
+      st.in_link = -1;  // tail fully arrived; stop consulting
+  }
+  if (st.next >= arrived) {
+    FLEXNET_TELEM(if (telem_.enabled()) telem_.on_flit_stall(li));
+    return true;  // wait for the tail to catch up
+  }
+  if (flow_control_ == FlowControl::kWormhole && st.next > 0) {
+    // Body flits claim downstream space one at a time; a full buffer
+    // (or an off backpressure bit) stalls the stream in place.
+    CreditLedger& ledger = ledger_[static_cast<std::size_t>(li)];
+    if (!ledger.can_send(st.vc, 1)) {
+      FLEXNET_TELEM(if (telem_.enabled()) telem_.on_flit_stall(li));
+      return true;
+    }
+    ledger.on_send(st.vc, 1, st.kind);
+  }
+  DirLink& link = links_[static_cast<std::size_t>(li)];
+  link.data.push_back(
+      FlyingPacket{st.ref, st.vc, now + link.latency + 1, st.next});
+  add_data_link(li, ds);
+  FLEXNET_TELEM(if (telem_.enabled()) telem_.on_flit(li));
+  ++st.next;
+  if (st.next == st.total) {
+    st = LinkStream{};
+    --router_streaming_[static_cast<std::size_t>(r)];
+    return !ou.idle();
+  }
+  return true;
 }
 
 }  // namespace flexnet

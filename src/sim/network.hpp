@@ -19,6 +19,18 @@
 //     routers with pending work (ActiveSet, swept in ascending id order so
 //     results are bit-identical to the full scans they replaced);
 //     quiescent routers cost nothing.
+//   * Arbitration is pruned and batched: every input VC slot carries an
+//     armed bit, and a head packet blocked on a condition that only a
+//     discrete event can change (credit return, output-buffer slot free,
+//     body-flit arrival) is disarmed until that exact event fires — it
+//     stops re-arbitrating every cycle. Slots blocked on transient or
+//     time-varying conditions (allocator matching, consumption ports) stay
+//     armed and retry, preserving byte-identical results.
+//   * step() runs in `sim_domains` deterministic parallel domains:
+//     contiguous ascending router ranges, one phase at a time with a full
+//     barrier between phases, cross-domain effects staged per domain and
+//     merged in ascending domain order — so any domain count produces
+//     byte-identical reports (tests/test_domains.cpp).
 // Determinism invariants are spelled out in README "Engine architecture";
 // tests/test_core_equivalence.cpp enforces them against golden reports.
 #pragma once
@@ -39,6 +51,7 @@
 #include "router/output_unit.hpp"
 #include "routing/routing.hpp"
 #include "sim/config.hpp"
+#include "sim/domains.hpp"
 #include "sim/metrics.hpp"
 #include "sim/node.hpp"
 #include "telemetry/telemetry.hpp"
@@ -108,6 +121,10 @@ class Network final : public CongestionOracle {
   std::int64_t total_grants() const { return total_grants_; }
   std::int64_t overflow_picks() const { return overflow_picks_; }
   std::int64_t lowest_picks() const { return lowest_picks_; }
+  /// Arbitration attempts by packets that already held a commitment — the
+  /// repeat work re-request pruning removes. grants / consumed alongside
+  /// this ratio is the bench_hot_path pruning-progress oracle.
+  std::int64_t re_requests() const { return re_requests_; }
 
   /// Moves a packet from a node into its router's injection buffer; false
   /// when every eligible injection VC is full.
@@ -198,27 +215,166 @@ class Network final : public CongestionOracle {
   };
 
   /// Stage-1 result: one input port's chosen action for this iteration.
+  /// A stage-1 proposal: just the slot and its target output lane. The
+  /// route option and VC chosen for it live in the slot's Commitment —
+  /// grant() re-fetches them, so proposals stay pointer-sized instead of
+  /// dragging two HopSeq arrays through every lane push per iteration.
   struct Request {
     PortIndex in_port = kInvalidPort;
     VcIndex in_vc = kInvalidVc;
     int output = -1;  ///< unified output index (network port or ejection)
-    RouteOption option;
-    VcIndex out_vc = kInvalidVc;
-    int out_position = -1;
+  };
+
+  /// Ejection staged at grant time: node-local consumption state advances
+  /// immediately (the destination node belongs to the granting router's
+  /// domain), while the global effects — trace span, metrics, pool release
+  /// — are applied at the cycle barrier in ascending domain order, which
+  /// over contiguous router ranges is exactly the serial ascending-router
+  /// order the single-domain engine produced.
+  struct StagedConsume {
+    PacketRef ref = kInvalidPacketRef;
+    Cycle completion = 0;
+  };
+
+  /// Per-domain hot-path scratch plus the staging lanes that make the
+  /// parallel sweep deterministic: counters accumulate thread-locally and
+  /// fold into the Network totals at the barrier; cross-domain ActiveSet
+  /// additions queue here and merge serially (additions are idempotent and
+  /// sweeps sort, so merge order never shows in results).
+  struct DomainScratch {
+    int domain = 0;
+    std::vector<RouteOption> options;
+    std::vector<VcCandidate> cands;
+    std::vector<std::int32_t> touched;      ///< output lanes filled this iter
+    std::vector<StagedConsume> consumed;    ///< ejections for the barrier
+    std::vector<std::int32_t> credit_adds;  ///< cross-domain credit-lane ids
+    std::vector<std::int32_t> data_adds;    ///< cross-domain data-lane ids
+    std::int64_t grants = 0;
+    std::int64_t escapes = 0;
+    std::int64_t overflow = 0;
+    std::int64_t lowest = 0;
+    std::int64_t re_requests = 0;
+    bool granted = false;
   };
 
   int num_outputs(RouterId r) const;  // network ports + p*2 eject channels
   int eject_output_index(RouterId r, int node_local, MsgClass cls) const;
 
   void build();
-  void deliver(Cycle now);
-  void allocate(RouterId r, Cycle now);
+  void deliver_data(int d, Cycle now);
+  void deliver_credits(int d, Cycle now);
+  void allocate(RouterId r, Cycle now, DomainScratch& ds);
+  void commit_allocate(Cycle now);
   void trace_packet(const Packet& pkt, PacketRef ref, Cycle now) const;
-  bool stage1_pick(RouterId r, PortIndex ip, Cycle now, Request& req);
+  bool stage1_pick(RouterId r, PortIndex ip, Cycle now, Request& req,
+                   DomainScratch& ds);
   bool find_action(RouterId r, PortIndex ip, VcIndex vc, Cycle now,
-                   Request& req);
-  void grant(RouterId r, const Request& req, Cycle now);
-  void send(RouterId r, Cycle now);
+                   Request& req, DomainScratch& ds);
+  void grant(RouterId r, const Request& req, Cycle now, DomainScratch& ds);
+  void send(RouterId r, Cycle now, DomainScratch& ds);
+  /// One output link's serializer turn; returns whether the link still has
+  /// queued or streaming work (keeps its send_links_ bit set).
+  bool send_link(RouterId r, int li, Cycle now, DomainScratch& ds);
+
+  // --- Re-request pruning. A slot is (global input, VC); armed means
+  // stage1_pick evaluates it. Disarming is legal only in states where
+  // find_action provably returns false with no side effects (and no RNG
+  // draw — skipping a draw would shift the shared per-router stream), and
+  // every event that could change such a state re-arms the slot:
+  //   * empty VC            -> re-armed by the next push on the slot
+  //   * ejection tail short -> re-armed per arriving body flit
+  //   * safe commitment blocked on downstream resources -> subscribed to
+  //     the committed link's waiter list; fired on every credit return
+  //     (CreditLedger gains space only in on_credit, which also clears the
+  //     on/off stop bit) and every output-buffer departure (occupancy
+  //     drops only in start_send).
+  void arm_slot(RouterId r, int gi, VcIndex vc) {
+    std::uint64_t& bits = armed_[static_cast<std::size_t>(gi)];
+    const std::uint64_t bit = std::uint64_t{1} << vc;
+    if ((bits & bit) == 0) {
+      if (bits == 0 && port_masks_ok_)
+        armed_inputs_[static_cast<std::size_t>(r)] |=
+            std::uint64_t{1}
+            << (gi - in_index_[static_cast<std::size_t>(r)]);
+      bits |= bit;
+      ++router_armed_[static_cast<std::size_t>(r)];
+    }
+  }
+  void disarm_slot(RouterId r, int gi, VcIndex vc) {
+    std::uint64_t& bits = armed_[static_cast<std::size_t>(gi)];
+    const std::uint64_t bit = std::uint64_t{1} << vc;
+    if ((bits & bit) != 0) {
+      bits &= ~bit;
+      if (bits == 0 && port_masks_ok_)
+        armed_inputs_[static_cast<std::size_t>(r)] &=
+            ~(std::uint64_t{1}
+              << (gi - in_index_[static_cast<std::size_t>(r)]));
+      --router_armed_[static_cast<std::size_t>(r)];
+    }
+  }
+  void fire_waiters(RouterId r, int li);
+
+  // Sleeps an ejection-blocked slot until the consumption port frees: the
+  // blocking edge is a *timer* (Node::consume_free_at), so instead of
+  // re-arbitrating every cycle the slot parks in the wake calendar — a
+  // per-domain ring of per-cycle buckets — and re-arms exactly when
+  // can_consume's busy condition clears. Slots whose wake lies beyond the
+  // ring (oversized hand-injected packets) simply stay armed. Returns
+  // whether the slot went to sleep.
+  bool schedule_eject_wake(DomainScratch& ds, RouterId r, int gi, VcIndex vc,
+                           Cycle free_at, Cycle now) {
+    if (free_at - now >= static_cast<Cycle>(wake_ring_)) return false;
+    disarm_slot(r, gi, vc);
+    eject_wake_[static_cast<std::size_t>(ds.domain)]
+               [static_cast<std::size_t>(free_at %
+                                         static_cast<Cycle>(wake_ring_))]
+                   .push_back((static_cast<std::int32_t>(gi) << 6) | vc);
+    return true;
+  }
+
+  // Cross-domain ActiveSet routing: direct add when the target lane's
+  // domain is the caller's own (its set is never mid-sweep in that phase),
+  // staged through the domain outbox otherwise.
+  void add_credit_link(int li, DomainScratch& ds) {
+    const int d = link_owner_domain_[static_cast<std::size_t>(li)];
+    if (d == ds.domain)
+      credit_links_[static_cast<std::size_t>(d)].add(li);
+    else
+      ds.credit_adds.push_back(li);
+  }
+  void add_data_link(int li, DomainScratch& ds) {
+    const int d = link_to_domain_[static_cast<std::size_t>(li)];
+    if (d == ds.domain)
+      data_links_[static_cast<std::size_t>(d)].add(li);
+    else
+      ds.data_adds.push_back(li);
+  }
+  void flush_lane_adds();
+
+  // Read-only pending-work gauges summed across domains, kept as helpers
+  // so the telemetry on_step hook stays a pure expression (lint L5).
+  std::int64_t pending_lane_work() const {
+    std::int64_t n = 0;
+    for (int d = 0; d < domains_; ++d)
+      n += static_cast<std::int64_t>(
+          data_links_[static_cast<std::size_t>(d)].size() +
+          credit_links_[static_cast<std::size_t>(d)].size());
+    return n;
+  }
+  std::int64_t pending_alloc_work() const {
+    std::int64_t n = 0;
+    for (int d = 0; d < domains_; ++d)
+      n += static_cast<std::int64_t>(
+          alloc_sets_[static_cast<std::size_t>(d)].size());
+    return n;
+  }
+  std::int64_t pending_send_work() const {
+    std::int64_t n = 0;
+    for (int d = 0; d < domains_; ++d)
+      n += static_cast<std::int64_t>(
+          send_sets_[static_cast<std::size_t>(d)].size());
+    return n;
+  }
 
   // Flat-index helpers over the per-router offset tables (all carry a
   // sentinel entry, so spans are [index_[r], index_[r + 1])).
@@ -278,9 +434,51 @@ class Network final : public CongestionOracle {
   /// injected), recorded at grant so the outbound stream can find its
   /// TransitTail without a search. Grown lazily like traces_.
   std::vector<std::int32_t> flit_src_link_;
-  ActiveSet active_links_;   // links with queued data or credit events
-  ActiveSet alloc_routers_;  // routers with buffered packets
-  ActiveSet send_routers_;   // routers with occupied output units
+  // --- Deterministic parallel domains: contiguous ascending router ranges
+  // (`begin[d] = R * d / D`), one ActiveSet quartet per domain. Data lanes
+  // are swept by the link's *receiver* domain, credit lanes by the link's
+  // *owner* domain — every array element then has exactly one writer per
+  // phase. A team of one (`sim_domains=1`) runs everything inline on the
+  // caller with no thread machinery at all.
+  int domains_ = 1;
+  std::vector<std::int32_t> router_domain_;     // per router
+  std::vector<RouterId> link_owner_;            // per link: (owner, port) inverse
+  std::vector<std::int32_t> link_owner_domain_; // per link
+  std::vector<std::int32_t> link_to_domain_;    // per link: receiver's domain
+  std::vector<ActiveSet> data_links_;    // per domain: inbound data pending
+  std::vector<ActiveSet> credit_links_;  // per domain: credit returns pending
+  std::vector<ActiveSet> alloc_sets_;    // per domain: routers with armed slots
+  std::vector<ActiveSet> send_sets_;     // per domain: occupied output units
+  std::vector<DomainScratch> scratch_;   // per domain
+  std::unique_ptr<DomainTeam> team_;
+
+  // --- Pruned-arbitration state (see arm_slot/disarm_slot above).
+  std::vector<std::uint64_t> armed_;        // per global input: VC bitmask
+  std::vector<std::int32_t> router_armed_;  // per router: armed slot count
+  std::vector<std::int32_t> wait_link_;     // per (input, VC) commit slot
+  std::vector<std::vector<std::int32_t>> link_waiters_;  // per link: (gi<<6)|vc
+  std::vector<std::int32_t> input_router_;  // per global input: owning router
+  // Bitmask accelerators, valid only when every router's input count and
+  // network-port count fit a 64-bit word (true for every shipped topology;
+  // wider radixes fall back to the dense scans):
+  //   * armed_inputs_[r]: input ports with any armed VC — stage 1 iterates
+  //     set bits instead of scanning every port.
+  //   * send_links_[r]: local output links with queued or streaming work —
+  //     set at grant, cleared when the pipeline drains and no stream is
+  //     live; send() visits only set bits (ascending, like the full scan).
+  bool port_masks_ok_ = false;
+  std::vector<std::uint64_t> armed_inputs_;  // per router
+  std::vector<std::uint64_t> send_links_;    // per router
+  // Uncommitted heads may sleep on their blocking resource's wake edges
+  // only when re-running VC allocation is pure: a draw-free routing
+  // algorithm (options are a function of packet and router alone) and a
+  // VC selection function that consumes no randomness. Otherwise a
+  // blocked fresh head must stay armed — the old engine re-drew from the
+  // router RNG every cycle, and byte-equality pins that stream.
+  bool fresh_prune_ok_ = false;
+  int wake_ring_ = 1;  // wake-calendar span (max packet phits + margin)
+  // Per domain: ring of per-cycle wake buckets, entries (gi<<6)|vc.
+  std::vector<std::vector<std::vector<std::int32_t>>> eject_wake_;
 
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<TrafficPattern> pattern_;
@@ -291,17 +489,17 @@ class Network final : public CongestionOracle {
   std::int64_t total_grants_ = 0;
   std::int64_t overflow_picks_ = 0;
   std::int64_t lowest_picks_ = 0;
+  std::int64_t re_requests_ = 0;
   PacketId next_packet_id_ = 0;
 
-  // Scratch buffers reused across calls (allocation fast path), sized in
-  // build() from the real maxima over routers — never resized on the hot
-  // path. The matched flags are per-allocation-pass temporaries, so one
-  // scratch pair serves every router.
-  std::vector<RouteOption> scratch_options_;
-  std::vector<VcCandidate> scratch_cands_;
-  std::vector<std::vector<Request>> scratch_requests_;  // per output
-  std::vector<char> in_matched_;   // per input, one router at a time
-  std::vector<char> out_matched_;  // per output, one router at a time
+  // Allocator scratch flattened into the SoA router state: request lanes
+  // per *global* output and matched flags per *global* input/output, so
+  // parallel domains never share a scratch line and each pass clears only
+  // its own router's subranges. Sized once in build(); never resized on
+  // the hot path.
+  std::vector<std::vector<Request>> requests_;  // per global output
+  std::vector<char> in_matched_;   // per global input
+  std::vector<char> out_matched_;  // per global output
 
   // Opt-in diagnostics: the per-pool-slot router-route side store is
   // recorded when either consumer is active — the FLEXNET_DEBUG_STUCK

@@ -69,14 +69,13 @@ bool Node::can_consume(MsgClass cls, Cycle now) const {
   return true;
 }
 
-Cycle Node::consume(const Packet& pkt, Cycle now, Network& net) {
+Cycle Node::consume(const Packet& pkt, Cycle now) {
   FLEXNET_DCHECK(can_consume(pkt.cls, now));
   // The consumption channel moves one phit per cycle; the router pipeline
   // adds latency but overlaps with the next packet's transfer.
   const Cycle completion = now + config_.pipeline_latency + pkt.size;
   consume_busy_until_[static_cast<int>(pkt.cls)] = now + pkt.size;
-  net.metrics().on_consumed(pkt, completion);
-  if (config_.reactive && pkt.cls == MsgClass::kRequest) {
+  if (consume_spawns_reply(pkt)) {
     Packet reply;
     reply.src = id_;
     reply.dst = pkt.src;
@@ -85,7 +84,6 @@ Cycle Node::consume(const Packet& pkt, Cycle now, Network& net) {
     reply.created = completion;
     reply.vc_position = kInjectionPosition;
     source_[static_cast<int>(MsgClass::kReply)].push_back(reply);
-    net.metrics().on_generated(reply.size);
   }
   return completion;
 }

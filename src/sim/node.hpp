@@ -32,8 +32,26 @@ class Node {
   bool can_consume(MsgClass cls, Cycle now) const;
 
   /// Accepts a packet at the consumption port (called on an ejection
-  /// grant); returns the completion cycle of the transfer.
-  Cycle consume(const Packet& pkt, Cycle now, Network& net);
+  /// grant); returns the completion cycle of the transfer. Touches only
+  /// node-local state (consumption ports, the reply source queue) — the
+  /// global side effects (metrics, pool release, trace) are staged by the
+  /// Network so ejections in parallel allocation domains apply them in a
+  /// deterministic serial order at the cycle barrier.
+  Cycle consume(const Packet& pkt, Cycle now);
+
+  /// Whether consuming `pkt` now enqueues a reply (reactive request):
+  /// Network stages the generation metric for it alongside on_consumed.
+  bool consume_spawns_reply(const Packet& pkt) const {
+    return config_.reactive && pkt.cls == MsgClass::kRequest;
+  }
+
+  /// First cycle the class's consumption port is free again. When this is
+  /// in the future, can_consume is false until exactly this cycle — the
+  /// allocator's pruning uses it to sleep ejection-blocked slots on a
+  /// timer instead of re-arbitrating them every cycle.
+  Cycle consume_free_at(MsgClass cls) const {
+    return consume_busy_until_[static_cast<int>(cls)];
+  }
 
   NodeId id() const { return id_; }
   std::int64_t source_backlog(MsgClass cls) const {

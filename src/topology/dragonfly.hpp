@@ -36,6 +36,9 @@ class Dragonfly final : public Topology {
   std::string name() const override;
   bool typed() const override { return true; }
   int diameter() const override { return 3; }
+  // Palmtree wiring gives every (router, destination) pair a single
+  // minimal first hop — the routing tie-break RNG is never consumed.
+  bool min_port_unique() const override { return true; }
 
   const DragonflyParams& params() const { return params_; }
 

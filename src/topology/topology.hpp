@@ -70,6 +70,13 @@ class Topology {
   virtual PortIndex min_next_port(RouterId from, RouterId to,
                                   Rng* rng = nullptr) const = 0;
 
+  /// True when min_next_port never consumes the tie-break RNG: the minimal
+  /// first hop is unique for every (from, to) pair (Dragonfly). Topologies
+  /// with equal-length minimal alternatives return false, which keeps the
+  /// allocator from sleeping blocked uncommitted heads (their re-route
+  /// would re-draw, and byte-equality pins the RNG stream).
+  virtual bool min_port_unique() const { return false; }
+
   /// Link-type sequence of a minimal route from `from` to `to` (worst case
   /// over tie-breaks; all minimal alternatives have the same type counts in
   /// the supported topologies). Empty when from == to.

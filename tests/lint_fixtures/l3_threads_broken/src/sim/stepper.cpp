@@ -1,0 +1,17 @@
+// Lint fixture (L3, violating): a thread primitive in a simulation-core TU
+// that is not the sanctioned src/sim/domains.* barrier.
+#include <mutex>
+
+namespace flexnet {
+
+struct Stepper {
+  std::mutex mu;
+  long count = 0;
+
+  void bump() {
+    std::lock_guard<std::mutex> lock(mu);
+    ++count;
+  }
+};
+
+}  // namespace flexnet

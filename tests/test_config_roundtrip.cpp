@@ -61,6 +61,7 @@ const std::map<std::string, std::string>& mutations() {
       {"adv_offset", "2"},
       {"reply_queue", "4"},
       {"packet_size", "16"},
+      {"sim_domains", "4"},
       {"warmup", "1234"},
       {"measure", "4321"},
       {"seed", "99"},

@@ -59,6 +59,10 @@ const RuleCase kRuleCases[] = {
     {"L1", "l1_broken", "l1_clean", "mystery_knob", "src/sim/config.hpp:17:"},
     {"L2", "l2_broken", "l2_clean", "jitter", "src/sim/simulator.hpp:14:"},
     {"L3", "l3_broken", "l3_clean", "rand()", "src/sim/hot_path.cpp:21:"},
+    // Thread primitives in the simulation core: banned everywhere under
+    // src/sim/ except the sanctioned barrier TU src/sim/domains.*.
+    {"L3", "l3_threads_broken", "l3_threads_clean",
+     "confined to src/sim/domains.*", "src/sim/stepper.cpp:8:"},
     {"L4", "l4_broken", "l4_clean", "phantom_traffic",
      "src/traffic/phantom.cpp:5:"},
     {"L5", "l5_broken", "l5_clean", "read-only", "src/sim/hooks.cpp:22:"},

@@ -610,6 +610,26 @@ class Linter {
       scan_pointer_keys(f, "std::map");
       scan_pointer_keys(f, "std::set");
     }
+
+    // Thread primitives in the simulation core. The engine's parallelism
+    // lives in exactly one sanctioned TU — src/sim/domains.* (the domain
+    // barrier, whose merge order is fixed by construction). Anywhere else
+    // under src/sim/ a thread primitive means simulation state can depend
+    // on OS scheduling, which no seed pins.
+    static const char* kThreadWords[] = {"thread", "mutex",
+                                         "condition_variable", "atomic"};
+    for (const SourceFile& f : files_) {
+      if (f.rel.rfind("src/sim/", 0) != 0) continue;
+      if (f.rel.rfind("src/sim/domains.", 0) == 0) continue;
+      for (const char* word : kThreadWords) {
+        scan_pattern(
+            f, word,
+            std::string("std::") + word +
+                " in the simulation core — thread primitives are confined "
+                "to src/sim/domains.* (the domain barrier); everywhere "
+                "else per-cycle state must be scheduling-independent");
+      }
+    }
   }
 
   // --- L4 -----------------------------------------------------------------
